@@ -1,0 +1,111 @@
+"""Experiment fig1a/fig1b — Fig. 1: EXTOLL latency and bandwidth.
+
+Shape claims reproduced (§V-A1):
+
+* GPU-controlled (direct) small-message latency ≈ 2x host-controlled,
+* pollOnGPU drops latency below the host-assisted variant,
+* latency ordering: hostControlled < pollOnGPU < assisted < direct (small),
+* bandwidth peaks near the FPGA link rate (~800 MB/s) and *drops* for
+  messages larger than 1 MiB (PCIe P2P read pathology),
+* assisted bandwidth trails at small/medium sizes (per-message handshake).
+"""
+
+import pytest
+
+from repro.analysis import fig1a_extoll_latency, fig1b_extoll_bandwidth
+from repro.units import KIB, MIB
+
+from .conftest import series_to_dict
+
+LAT_SIZES = [16, 256, 4 * KIB, 64 * KIB]
+BW_SIZES = [4 * KIB, 64 * KIB, 256 * KIB, 4 * MIB]
+
+
+@pytest.fixture(scope="module")
+def latency_data():
+    return series_to_dict(fig1a_extoll_latency(sizes=LAT_SIZES, iterations=10))
+
+
+@pytest.fixture(scope="module")
+def bandwidth_data():
+    return series_to_dict(fig1b_extoll_bandwidth(sizes=BW_SIZES))
+
+
+def test_fig1a_regenerate(benchmark, latency_data):
+    def read():
+        return latency_data
+
+    result = benchmark.pedantic(read, rounds=1, iterations=1)
+    benchmark.extra_info["latency_us"] = {
+        label: {size: round(v * 1e6, 2) for size, v in row.items()}
+        for label, row in result.items()
+    }
+
+
+def test_fig1a_direct_is_about_twice_host_controlled(latency_data):
+    direct = latency_data["dev2dev-direct"][16]
+    host = latency_data["dev2dev-hostControlled"][16]
+    assert 1.5 <= direct / host <= 3.5
+
+
+def test_fig1a_poll_on_gpu_beats_assisted(latency_data):
+    """'The resulting latency drops significantly and is even lower than
+    host-assisted put operations.'"""
+    for size in (16, 256):
+        assert (latency_data["dev2dev-pollOnGPU"][size]
+                < latency_data["dev2dev-assisted"][size])
+
+
+def test_fig1a_host_controlled_always_fastest(latency_data):
+    """'CPU-controlled put/get operations always perform better.'"""
+    for size in LAT_SIZES:
+        host = latency_data["dev2dev-hostControlled"][size]
+        for label, row in latency_data.items():
+            assert host <= row[size] * 1.001, (label, size)
+
+
+def test_fig1a_latency_grows_with_size(latency_data):
+    for label, row in latency_data.items():
+        assert row[64 * KIB] > row[16]
+
+
+def test_fig1b_regenerate(benchmark, bandwidth_data):
+    def read():
+        return bandwidth_data
+
+    result = benchmark.pedantic(read, rounds=1, iterations=1)
+    benchmark.extra_info["mb_per_s"] = {
+        label: {size: round(v, 1) for size, v in row.items()}
+        for label, row in result.items()
+    }
+
+
+def test_fig1b_peak_bandwidth_near_link_rate(bandwidth_data):
+    """The FPGA card peaks around 800 MB/s."""
+    peak = max(bandwidth_data["dev2dev-hostControlled"].values())
+    assert 600 <= peak <= 1000
+
+
+def test_fig1b_bandwidth_drops_past_1mib(bandwidth_data):
+    """'The bandwidth drops for message sizes larger than 1MB.'"""
+    for label in ("dev2dev-direct", "dev2dev-hostControlled"):
+        row = bandwidth_data[label]
+        assert row[4 * MIB] < row[256 * KIB] * 0.85, label
+
+
+def test_fig1b_gap_between_gpu_and_cpu_control(bandwidth_data):
+    """'There is still a gap between GPU and CPU-controlled RMA transfers'
+    at small sizes, closing at large sizes."""
+    small = 4 * KIB
+    assert (bandwidth_data["dev2dev-direct"][small]
+            <= bandwidth_data["dev2dev-hostControlled"][small] * 1.001)
+    large = 4 * MIB
+    ratio = (bandwidth_data["dev2dev-direct"][large]
+             / bandwidth_data["dev2dev-hostControlled"][large])
+    assert 0.9 <= ratio <= 1.1
+
+
+def test_fig1b_assisted_trails(bandwidth_data):
+    for size in (4 * KIB, 64 * KIB):
+        assert (bandwidth_data["dev2dev-assisted"][size]
+                < bandwidth_data["dev2dev-hostControlled"][size])

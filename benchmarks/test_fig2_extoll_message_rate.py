@@ -1,0 +1,76 @@
+"""Experiment fig2 — Fig. 2: EXTOLL message rate, 64 B messages.
+
+Shape claims reproduced (§V-A2):
+
+* posting from parallel CUDA blocks ≈ launching one kernel per stream,
+* message rate scales with connection pairs for the GPU-controlled methods,
+* host-assisted saturates (single proxy thread serves all connections) and
+  trails host-controlled,
+* 'both CPU-controlled data transfers are still faster' at every count.
+"""
+
+import pytest
+
+from repro.analysis import fig2_extoll_message_rate
+
+from .conftest import series_to_dict
+
+COUNTS = [1, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def rate_data():
+    return series_to_dict(fig2_extoll_message_rate(
+        connection_counts=COUNTS, per_connection=60))
+
+
+def test_fig2_regenerate(benchmark, rate_data):
+    result = benchmark.pedantic(lambda: rate_data, rounds=1, iterations=1)
+    benchmark.extra_info["messages_per_s"] = {
+        label: {n: round(v) for n, v in row.items()}
+        for label, row in result.items()
+    }
+
+
+def test_fig2_blocks_equal_kernels(rate_data):
+    """'Posting descriptors with multiple CUDA blocks performs similar as
+    launching CUDA kernels with different streams.'"""
+    for n in COUNTS:
+        blocks = rate_data["dev2dev-blocks"][n]
+        kernels = rate_data["dev2dev-kernels"][n]
+        assert abs(blocks - kernels) / blocks < 0.15
+
+
+def test_fig2_gpu_rate_scales_with_connections(rate_data):
+    row = rate_data["dev2dev-blocks"]
+    assert row[4] > 2.0 * row[1]
+    assert row[16] > 1.5 * row[4]
+
+
+def test_fig2_host_controlled_fastest(rate_data):
+    """'Nonetheless, both CPU-controlled data transfers are still faster.'"""
+    for n in COUNTS:
+        host = rate_data["dev2dev-hostControlled"][n]
+        assert host >= rate_data["dev2dev-blocks"][n] * 0.99
+        assert host >= rate_data["dev2dev-kernels"][n] * 0.99
+
+
+def test_fig2_assisted_saturates(rate_data):
+    """Host-assisted flat beyond ~4 pairs: one thread serves everyone."""
+    row = rate_data["dev2dev-assisted"]
+    assert row[32] < row[4] * 1.3
+
+
+def test_fig2_assisted_below_host_controlled(rate_data):
+    """'Host-assisted transfers ... performs worse than host-controlled
+    operations due to synchronization overhead.'"""
+    for n in COUNTS:
+        assert (rate_data["dev2dev-assisted"][n]
+                < rate_data["dev2dev-hostControlled"][n])
+
+
+def test_fig2_rates_in_paper_decades(rate_data):
+    """Fig. 2's axis spans 1e4..2e6 msgs/s; every curve lives there."""
+    for label, row in rate_data.items():
+        for n, rate in row.items():
+            assert 1e4 < rate < 1e7, (label, n, rate)

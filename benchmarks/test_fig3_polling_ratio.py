@@ -1,0 +1,63 @@
+"""Experiment fig3 — Fig. 3: polling time vs WR-generation time per size.
+
+Shape claims reproduced (§V-A3):
+
+* small messages: system-memory polling needs ~10x the posting time while
+  device-memory polling needs only a few x,
+* the ratio grows with message size for both approaches (the data transfer
+  becomes the dominating fraction) and the two curves converge,
+* the ratio spans several orders of magnitude over 4 B .. 64 MiB (the
+  paper's y-axis runs 1..10000).
+"""
+
+import pytest
+
+from repro.analysis import fig3_polling_ratio
+from repro.units import KIB, MIB
+
+SIZES = [16, 1 * KIB, 64 * KIB, 1 * MIB, 16 * MIB]
+
+
+@pytest.fixture(scope="module")
+def ratio_data():
+    series = fig3_polling_ratio(sizes=SIZES, iterations=4)
+    return {s.label: {p.size: p.poll_to_post_ratio for p in s.points}
+            for s in series}
+
+
+def test_fig3_regenerate(benchmark, ratio_data):
+    result = benchmark.pedantic(lambda: ratio_data, rounds=1, iterations=1)
+    benchmark.extra_info["poll_to_post_ratio"] = {
+        label: {size: round(v, 2) for size, v in row.items()}
+        for label, row in result.items()
+    }
+
+
+def test_fig3_sysmem_ratio_about_10x_at_small_sizes(ratio_data):
+    """'For small messages, polling on system memory needs ten times the
+    time than it is needed to post the WR.'"""
+    assert 5 <= ratio_data["system memory"][16] <= 30
+
+
+def test_fig3_devmem_cheaper_than_sysmem_at_small_sizes(ratio_data):
+    for size in (16, 1 * KIB):
+        assert ratio_data["device memory"][size] < ratio_data["system memory"][size]
+
+
+def test_fig3_ratio_grows_with_size(ratio_data):
+    for label, row in ratio_data.items():
+        assert row[16 * MIB] > 50 * row[16], label
+
+
+def test_fig3_approaches_converge_at_large_sizes(ratio_data):
+    """'For rather large messages both approaches perform similar.'"""
+    big = 16 * MIB
+    a, b = ratio_data["system memory"][big], ratio_data["device memory"][big]
+    assert 0.6 <= a / b <= 1.6
+
+
+def test_fig3_spans_paper_decades(ratio_data):
+    """Ratios run from single digits to thousands across the size sweep."""
+    values = [v for row in ratio_data.values() for v in row.values()]
+    assert min(values) < 20
+    assert max(values) > 1000

@@ -1,0 +1,100 @@
+"""Experiment fig4a/fig4b — Fig. 4: InfiniBand latency and bandwidth.
+
+Shape claims reproduced (§V-B1):
+
+* GPU-initiated latency is much higher than CPU-initiated, especially for
+  small messages (the ~442-instruction single-thread WQE build),
+* 'in contrast to EXTOLL's RMA, for Infiniband the location of the
+  communication resources ... makes only a small difference',
+* bandwidth is limited to ~1 GB/s and decreases for larger messages (same
+  PCIe P2P effect as EXTOLL).
+"""
+
+import pytest
+
+from repro.analysis import fig4a_ib_latency, fig4b_ib_bandwidth
+from repro.units import KIB, MIB
+
+from .conftest import series_to_dict
+
+LAT_SIZES = [16, 256, 4 * KIB, 64 * KIB]
+BW_SIZES = [4 * KIB, 64 * KIB, 256 * KIB, 4 * MIB]
+
+
+@pytest.fixture(scope="module")
+def latency_data():
+    return series_to_dict(fig4a_ib_latency(sizes=LAT_SIZES, iterations=10))
+
+
+@pytest.fixture(scope="module")
+def bandwidth_data():
+    return series_to_dict(fig4b_ib_bandwidth(sizes=BW_SIZES))
+
+
+def test_fig4a_regenerate(benchmark, latency_data):
+    result = benchmark.pedantic(lambda: latency_data, rounds=1, iterations=1)
+    benchmark.extra_info["latency_us"] = {
+        label: {size: round(v * 1e6, 2) for size, v in row.items()}
+        for label, row in result.items()
+    }
+
+
+def test_fig4a_gpu_latency_much_higher_than_host(latency_data):
+    """GPU-initiated vs CPU-initiated at small sizes."""
+    for size in (16, 256):
+        gpu = latency_data["dev2dev-bufOnGPU"][size]
+        host = latency_data["dev2dev-hostControlled"][size]
+        assert gpu / host > 1.6, size
+
+
+def test_fig4a_buffer_location_makes_small_difference(latency_data):
+    """'the location of the communication resources, here the queues, makes
+    only a small difference' — well under the GPU-vs-host gap."""
+    for size in LAT_SIZES:
+        on_gpu = latency_data["dev2dev-bufOnGPU"][size]
+        on_host = latency_data["dev2dev-bufOnHost"][size]
+        assert abs(on_host - on_gpu) / on_gpu < 0.45, size
+
+
+def test_fig4a_host_controlled_fastest(latency_data):
+    for size in LAT_SIZES:
+        host = latency_data["dev2dev-hostControlled"][size]
+        for label, row in latency_data.items():
+            assert host <= row[size] * 1.001, (label, size)
+
+
+def test_fig4b_regenerate(benchmark, bandwidth_data):
+    result = benchmark.pedantic(lambda: bandwidth_data, rounds=1, iterations=1)
+    benchmark.extra_info["mb_per_s"] = {
+        label: {size: round(v, 1) for size, v in row.items()}
+        for label, row in result.items()
+    }
+
+
+def test_fig4b_bandwidth_limited_to_about_1gb(bandwidth_data):
+    """'The bandwidth is limited to about 1GB/s.'"""
+    for label, row in bandwidth_data.items():
+        peak = max(row.values())
+        assert peak < 1600, label
+    best = max(max(row.values()) for row in bandwidth_data.values())
+    assert best > 800
+
+
+def test_fig4b_bandwidth_decreases_for_large_messages(bandwidth_data):
+    for label in ("dev2dev-bufOnGPU", "dev2dev-hostControlled"):
+        row = bandwidth_data[label]
+        assert row[4 * MIB] < row[256 * KIB] * 0.85, label
+
+
+def test_fig4b_gpu_and_host_reach_similar_peaks(bandwidth_data):
+    """At mid sizes GPU- and host-initiated bandwidth converge (the ~2 KiB
+    crossover of §V-B2 extends to larger messages)."""
+    size = 256 * KIB
+    gpu = bandwidth_data["dev2dev-bufOnGPU"][size]
+    host = bandwidth_data["dev2dev-hostControlled"][size]
+    assert 0.6 <= gpu / host <= 1.7
+
+
+def test_fig4b_assisted_trails_at_small_sizes(bandwidth_data):
+    assert (bandwidth_data["dev2dev-assisted"][4 * KIB]
+            < bandwidth_data["dev2dev-hostControlled"][4 * KIB])

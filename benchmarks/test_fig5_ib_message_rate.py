@@ -1,0 +1,73 @@
+"""Experiment fig5 — Fig. 5: InfiniBand message rate, 64 B messages.
+
+Shape claims reproduced (§V-B2):
+
+* blocks ≈ kernels ('There is no difference whether the communication is
+  started from different blocks or kernels'),
+* 'for 32 connections almost the same message rate can be reached as for
+  host-initiated data transfers' — per-QP WR generation parallelizes,
+* 'The message rate of the host-assisted version remains constant for more
+  than four connection pairs' — one proxy thread blocks all aspirants.
+"""
+
+import pytest
+
+from repro.analysis import fig5_ib_message_rate
+
+from .conftest import series_to_dict
+
+COUNTS = [1, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def rate_data():
+    return series_to_dict(fig5_ib_message_rate(
+        connection_counts=COUNTS, per_connection=60))
+
+
+def test_fig5_regenerate(benchmark, rate_data):
+    result = benchmark.pedantic(lambda: rate_data, rounds=1, iterations=1)
+    benchmark.extra_info["messages_per_s"] = {
+        label: {n: round(v) for n, v in row.items()}
+        for label, row in result.items()
+    }
+
+
+def test_fig5_blocks_equal_kernels(rate_data):
+    for n in COUNTS:
+        blocks = rate_data["dev2dev-blocks"][n]
+        kernels = rate_data["dev2dev-kernels"][n]
+        assert abs(blocks - kernels) / blocks < 0.15
+
+
+def test_fig5_gpu_reaches_host_rate_at_32_connections(rate_data):
+    """The headline: with a QP per block, WR generation parallelizes until
+    GPU-initiated rates match host-initiated ones."""
+    gpu = rate_data["dev2dev-blocks"][32]
+    host = rate_data["dev2dev-hostControlled"][32]
+    assert 0.75 <= gpu / host <= 1.4
+
+
+def test_fig5_gpu_scales_with_connections(rate_data):
+    row = rate_data["dev2dev-blocks"]
+    assert row[4] > 2.5 * row[1]
+    assert row[32] > 1.3 * row[8]
+
+
+def test_fig5_gpu_far_below_host_at_one_connection(rate_data):
+    assert (rate_data["dev2dev-blocks"][1]
+            < 0.5 * rate_data["dev2dev-hostControlled"][1])
+
+
+def test_fig5_assisted_constant_beyond_four_pairs(rate_data):
+    """'remains constant for more than four connection pairs.'"""
+    row = rate_data["dev2dev-assisted"]
+    for n in (8, 16, 32):
+        assert abs(row[n] - row[4]) / row[4] < 0.2, n
+
+
+def test_fig5_assisted_is_slowest_at_scale(rate_data):
+    for n in (8, 16, 32):
+        assisted = rate_data["dev2dev-assisted"][n]
+        assert assisted < rate_data["dev2dev-blocks"][n]
+        assert assisted < rate_data["dev2dev-hostControlled"][n]

@@ -1,0 +1,95 @@
+"""Experiment tab1 — Table I: EXTOLL polling counters (100 iters, 1 KiB).
+
+Shape claims reproduced (§V-A3):
+
+* system-memory polling: *all* polling traffic is sysmem reads; no global
+  loads; writes ≈ WR posting + notification freeing + read-pointer updates,
+* device-memory polling: ZERO sysmem reads; sysmem writes = exactly the
+  3 x 64-bit WR stores per iteration (paper: 303 for 100 iterations);
+  polling runs out of the L2 (hit rate dominates),
+* notification polling executes ~2x the instructions of flag polling.
+"""
+
+import pytest
+
+from repro.analysis import PAPER_TABLE1, table1_extoll_polling
+
+ITERATIONS = 100
+
+
+@pytest.fixture(scope="module")
+def reports():
+    sysmem, devmem = table1_extoll_polling(iterations=ITERATIONS)
+    return sysmem, devmem
+
+
+def test_table1_regenerate(benchmark, reports):
+    sysmem, devmem = reports
+    result = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    benchmark.extra_info["system_memory"] = sysmem.counters.as_dict()
+    benchmark.extra_info["device_memory"] = devmem.counters.as_dict()
+    benchmark.extra_info["paper"] = PAPER_TABLE1
+
+
+def test_device_polling_has_zero_sysmem_reads(reports):
+    _sysmem, devmem = reports
+    assert devmem.counters.sysmem_read_transactions == 0
+
+
+def test_device_polling_writes_exactly_the_wr(reports):
+    """'Polling on device memory causes 3 system memory write operations per
+    iteration which is exactly the size of the WR (3x64 bit values).'"""
+    _sysmem, devmem = reports
+    assert devmem.counters.sysmem_write_transactions == 3 * ITERATIONS
+
+
+def test_sysmem_polling_reads_dominate(reports):
+    sysmem, _devmem = reports
+    assert sysmem.counters.sysmem_read_transactions > 10 * ITERATIONS
+    assert (sysmem.counters.sysmem_read_transactions
+            > sysmem.counters.sysmem_write_transactions)
+
+
+def test_sysmem_polling_never_uses_l2(reports):
+    """'Polling on notifications in system memory cannot use the L2 cache
+    at all.'"""
+    sysmem, _devmem = reports
+    assert sysmem.counters.l2_read_hits == 0
+    assert sysmem.counters.global_load_accesses == 0
+
+
+def test_device_polling_hits_l2(reports):
+    """'Polling on the last received element ... can be kept in the L2
+    cache'; most accesses hit."""
+    _sysmem, devmem = reports
+    c = devmem.counters
+    assert c.l2_read_requests > 0
+    assert c.l2_read_hits / c.l2_read_requests > 0.9
+
+
+def test_notification_polling_executes_about_twice_the_instructions(reports):
+    """'Polling on notifications leads to twice as much instructions.'"""
+    sysmem, devmem = reports
+    ratio = (sysmem.counters.instructions_executed
+             / devmem.counters.instructions_executed)
+    assert 1.5 <= ratio <= 2.8
+
+
+def test_counters_land_in_paper_magnitudes(reports):
+    """Per-iteration counters within ~4x of the paper's values for the
+    metrics that define the story."""
+    sysmem, devmem = reports
+    checks = [
+        (sysmem.counters.sysmem_read_transactions,
+         PAPER_TABLE1["system memory"]["sysmem_read_transactions"]),
+        (devmem.counters.global_load_accesses,
+         PAPER_TABLE1["device memory"]["global_load_accesses"]),
+        (devmem.counters.l2_read_hits,
+         PAPER_TABLE1["device memory"]["l2_read_hits"]),
+        (sysmem.counters.instructions_executed,
+         PAPER_TABLE1["system memory"]["instructions_executed"]),
+        (devmem.counters.instructions_executed,
+         PAPER_TABLE1["device memory"]["instructions_executed"]),
+    ]
+    for measured, paper in checks:
+        assert paper / 4 <= measured <= paper * 4, (measured, paper)

@@ -1,0 +1,90 @@
+"""Experiment tab2 — Table II: InfiniBand buffer-placement counters.
+
+Shape claims reproduced (§V-B3):
+
+* buffer placement makes a much smaller counter difference than EXTOLL's
+  polling choice: slightly more sysmem traffic with buffers on host, but
+  L2 traffic and instruction counts are close between the two variants,
+* polling work is dominated by L2 hits (the last-element poll in device
+  memory) in *both* variants,
+* instruction counts per iteration are an order of magnitude above EXTOLL's
+  (~1,100/iteration vs ~250-500), driven by WQE generation + CQ handling.
+"""
+
+import pytest
+
+from repro.analysis import PAPER_TABLE2, table2_ib_buffers
+from repro.core import measure_extoll_polling_counters
+
+ITERATIONS = 100
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return table2_ib_buffers(iterations=ITERATIONS)
+
+
+def test_table2_regenerate(benchmark, reports):
+    on_host, on_gpu = reports
+    result = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    benchmark.extra_info["buffer_on_host"] = on_host.counters.as_dict()
+    benchmark.extra_info["buffer_on_gpu"] = on_gpu.counters.as_dict()
+    benchmark.extra_info["paper"] = PAPER_TABLE2
+
+
+def test_host_buffers_cause_more_sysmem_traffic(reports):
+    on_host, on_gpu = reports
+    assert (on_host.counters.sysmem_read_transactions
+            > on_gpu.counters.sysmem_read_transactions)
+    assert (on_host.counters.sysmem_write_transactions
+            > on_gpu.counters.sysmem_write_transactions)
+
+
+def test_difference_smaller_than_extoll(reports):
+    """'The difference is considerably smaller than for the EXTOLL RMA
+    unit': compare instruction-count ratios across the placement choice."""
+    on_host, on_gpu = reports
+    ib_ratio = (on_host.counters.instructions_executed
+                / on_gpu.counters.instructions_executed)
+    ex_sys, ex_dev = measure_extoll_polling_counters(iterations=20)
+    extoll_ratio = (ex_sys.counters.instructions_executed
+                    / ex_dev.counters.instructions_executed)
+    assert abs(ib_ratio - 1.0) < abs(extoll_ratio - 1.0)
+
+
+def test_l2_dominates_in_both_variants(reports):
+    """Both variants poll the last element in device memory, so L2 reads
+    dwarf sysmem reads."""
+    for report in reports:
+        c = report.counters
+        assert c.l2_read_requests > 2 * max(c.sysmem_read_transactions, 1)
+        assert c.l2_read_hits / c.l2_read_requests > 0.8
+
+
+def test_instruction_counts_close_between_variants(reports):
+    on_host, on_gpu = reports
+    ratio = (on_host.counters.instructions_executed
+             / on_gpu.counters.instructions_executed)
+    assert 0.7 <= ratio <= 1.4
+
+
+def test_ib_iteration_cost_far_above_extoll(reports):
+    """'It seems that the work request generation for Infiniband requires a
+    lot more overhead' — per-iteration instructions vs EXTOLL devmem mode."""
+    on_host, _on_gpu = reports
+    per_iter = on_host.counters.instructions_executed / ITERATIONS
+    assert per_iter > 500
+
+
+def test_counters_land_in_paper_magnitudes(reports):
+    on_host, on_gpu = reports
+    checks = [
+        (on_host.counters.instructions_executed,
+         PAPER_TABLE2["Buffer on Host"]["instructions_executed"]),
+        (on_gpu.counters.instructions_executed,
+         PAPER_TABLE2["Buffer on GPU"]["instructions_executed"]),
+        (on_host.counters.sysmem_read_transactions,
+         PAPER_TABLE2["Buffer on Host"]["sysmem_read_transactions"]),
+    ]
+    for measured, paper in checks:
+        assert paper / 5 <= measured <= paper * 5, (measured, paper)

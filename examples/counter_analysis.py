@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Profile the GPU like the paper does: regenerate Tables I and II.
+
+Runs the 100-iteration, 1 KiB ping-pong under both EXTOLL polling strategies
+and both InfiniBand buffer placements, collecting the simulated GPU's
+performance counters, and prints them next to the paper's numbers.
+
+Run:  python examples/counter_analysis.py [--iterations 100]
+"""
+
+import argparse
+
+from repro.analysis import (
+    PAPER_SINGLE_OP,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    single_op_costs,
+    table1_extoll_polling,
+    table2_ib_buffers,
+)
+from repro.core import render_counter_table
+
+
+def print_with_paper(reports, paper, title):
+    print(render_counter_table(list(reports), title))
+    print("\n  paper reference (same layout):")
+    metrics = reports[0].counters.table_rows()
+    for metric, _ in metrics:
+        key = {
+            "sysmem reads (32B accesses)": "sysmem_read_transactions",
+            "sysmem writes (32B accesses)": "sysmem_write_transactions",
+            "globmem64 reads (accesses)": "global_load_accesses",
+            "globmem64 writes (accesses)": "global_store_accesses",
+            "l2 read misses": "l2_read_misses",
+            "l2 read hits": "l2_read_hits",
+            "l2 read requests": "l2_read_requests",
+            "l2 write requests": "l2_write_requests",
+            "memory accesses (r/w)": "memory_accesses",
+            "instruction executed": "instructions_executed",
+        }[metric]
+        row = f"  {metric.ljust(32)}"
+        for label in paper:
+            row += f"{paper[label].get(key, '-')!s:>18}"
+        print(row)
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=100)
+    args = parser.parse_args()
+
+    t1 = table1_extoll_polling(iterations=args.iterations)
+    print_with_paper(t1, PAPER_TABLE1,
+                     f"Table I — EXTOLL polling ({args.iterations} iters, 1 KiB)")
+
+    t2 = table2_ib_buffers(iterations=args.iterations)
+    print_with_paper(t2, PAPER_TABLE2,
+                     f"Table II — IB buffer placement ({args.iterations} iters, 1 KiB)")
+
+    ops = single_op_costs()
+    print("Single-operation instruction counts (§V-B3)")
+    print(f"  ibv_post_send : measured {ops['ibv_post_send']:>4}   paper {PAPER_SINGLE_OP['ibv_post_send']}")
+    print(f"  ibv_poll_cq   : measured {ops['ibv_poll_cq']:>4}   paper {PAPER_SINGLE_OP['ibv_poll_cq']}")
+    print(f"  EXTOLL post   : measured {ops['extoll_post']:>4}   paper 'a few tens'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline boxes).
+
+`pip install -e . --no-build-isolation --no-use-pep517` uses this legacy
+path; everything else is declared in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — a full-system reproduction of
+
+    Klenk, Oden, Froning: "Analyzing Put/Get APIs for Thread-Collaborative
+    Processors", ICPP 2014
+
+on a simulated two-node GPU cluster.  See README.md for the architecture and
+EXPERIMENTS.md for the paper-vs-measured comparison of every table and
+figure.
+"""
+
+from .cluster import Cluster, build_extoll_cluster, build_ib_cluster
+from .node import Node, NodeConfig
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "build_extoll_cluster",
+    "build_ib_cluster",
+    "Node",
+    "NodeConfig",
+    "Simulator",
+    "__version__",
+]

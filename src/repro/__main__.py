@@ -1,0 +1,12 @@
+"""``python -m repro`` — print the reproduction report.
+
+Equivalent to ``python -m repro.analysis.report``; see ``--help`` for the
+scale option.
+"""
+
+import sys
+
+from .analysis.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

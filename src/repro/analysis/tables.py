@@ -1,0 +1,83 @@
+"""Table generators — Tables I and II plus the §V-B3 single-op costs."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core import (
+    CounterReport,
+    measure_extoll_polling_counters,
+    measure_ib_buffer_counters,
+    measure_single_op_instructions,
+)
+
+
+def table1_extoll_polling(iterations: int = 100) -> Tuple[CounterReport, CounterReport]:
+    """Table I: EXTOLL ping-pong counters, system-memory vs device-memory
+    polling (§V-A3)."""
+    return measure_extoll_polling_counters(iterations=iterations)
+
+
+def table2_ib_buffers(iterations: int = 100) -> Tuple[CounterReport, CounterReport]:
+    """Table II: InfiniBand ping-pong counters, queue buffers on host vs on
+    GPU memory (§V-B3)."""
+    return measure_ib_buffer_counters(iterations=iterations)
+
+
+def single_op_costs() -> Dict[str, int]:
+    """§V-B3: instructions for one ibv_post_send / ibv_poll_cq, plus the
+    EXTOLL descriptor post for contrast (442 / 283 / 'a few tens')."""
+    return measure_single_op_instructions()
+
+
+# Paper-reported values, for the EXPERIMENTS.md comparison and the
+# shape-assertions in the benchmark suite.
+PAPER_TABLE1 = {
+    "system memory": {
+        "sysmem_read_transactions": 4368,
+        "sysmem_write_transactions": 2908,
+        "global_load_accesses": 0,
+        "global_store_accesses": 500,
+        "l2_read_hits": 0,
+        "l2_read_requests": 4822,
+        "l2_write_requests": 5268,
+        "memory_accesses": 6788,
+        "instructions_executed": 46413,
+    },
+    "device memory": {
+        "sysmem_read_transactions": 0,
+        "sysmem_write_transactions": 303,
+        "global_load_accesses": 1314,
+        "global_store_accesses": 400,
+        "l2_read_hits": 3143,
+        "l2_read_requests": 2970,
+        "l2_write_requests": 404,
+        "memory_accesses": 1714,
+        "instructions_executed": 22491,
+    },
+}
+
+PAPER_TABLE2 = {
+    "Buffer on Host": {
+        "sysmem_read_transactions": 772,
+        "sysmem_write_transactions": 670,
+        "l2_read_misses": 999,
+        "l2_read_hits": 16647,
+        "l2_read_requests": 16657,
+        "l2_write_requests": 1990,
+        "memory_accesses": 59937,
+        "instructions_executed": 123297,
+    },
+    "Buffer on GPU": {
+        "sysmem_read_transactions": 80,
+        "sysmem_write_transactions": 316,
+        "l2_read_misses": 1405,
+        "l2_read_hits": 14575,
+        "l2_read_requests": 15110,
+        "l2_write_requests": 1885,
+        "memory_accesses": 58905,
+        "instructions_executed": 110463,
+    },
+}
+
+PAPER_SINGLE_OP = {"ibv_post_send": 442, "ibv_poll_cq": 283}

@@ -1,0 +1,71 @@
+"""Two-node testbeds, wired like the paper's (§V).
+
+* :func:`build_extoll_cluster` — two nodes with EXTOLL Galibier cards,
+* :func:`build_ib_cluster` — two nodes with InfiniBand 4X FDR HCAs.
+
+Both give you a :class:`Cluster` holding the shared simulator, the two
+nodes, and the network fabric between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .network import NetworkFabric
+from .node import Node, NodeConfig
+from .sim import Simulator
+
+
+@dataclass
+class Cluster:
+    sim: Simulator
+    nodes: List[Node]
+    net: NetworkFabric
+
+    @property
+    def a(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def b(self) -> Node:
+        return self.nodes[1]
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+
+def _base_cluster(node_config: Optional[NodeConfig],
+                  sim: Optional[Simulator]) -> Cluster:
+    sim = sim or Simulator()
+    net = NetworkFabric(sim)
+    nodes = [Node(sim, 0, node_config), Node(sim, 1, node_config)]
+    return Cluster(sim, nodes, net)
+
+
+def build_extoll_cluster(node_config: Optional[NodeConfig] = None,
+                         nic_config=None,
+                         sim: Optional[Simulator] = None) -> Cluster:
+    """Two nodes with EXTOLL cards connected back to back."""
+    from .extoll import ExtollConfig
+
+    nic_config = nic_config or ExtollConfig()
+    cluster = _base_cluster(node_config, sim)
+    ep_a, ep_b = cluster.net.connect(0, 1, nic_config.link)
+    cluster.nodes[0].attach_extoll(ep_a, nic_config)
+    cluster.nodes[1].attach_extoll(ep_b, nic_config)
+    return cluster
+
+
+def build_ib_cluster(node_config: Optional[NodeConfig] = None,
+                     nic_config=None,
+                     sim: Optional[Simulator] = None) -> Cluster:
+    """Two nodes with InfiniBand 4X FDR HCAs on one subnet."""
+    from .ib import IbConfig
+
+    nic_config = nic_config or IbConfig()
+    cluster = _base_cluster(node_config, sim)
+    ep_a, ep_b = cluster.net.connect(0, 1, nic_config.link)
+    cluster.nodes[0].attach_ib(ep_a, nic_config)
+    cluster.nodes[1].attach_ib(ep_b, nic_config)
+    return cluster

@@ -1,0 +1,340 @@
+"""Streaming-bandwidth microbenchmarks (Figs. 1b and 4b).
+
+Unidirectional: node A streams ``count`` messages of ``size`` bytes into
+node B's GPU memory, keeping a bounded window of outstanding transfers.
+Bandwidth = moved bytes / (time from first post to last confirmed arrival).
+
+``dev2dev-pollOnGPU`` is deliberately absent: "this is only applicable for
+the ping-pong test" (§V-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import Cluster
+from ..errors import BenchmarkError
+from ..extoll import (
+    NotifyFlags,
+    RmaWorkRequest,
+    RmaOp,
+    rma_post,
+    rma_wait_notification,
+)
+from ..ib import IbOpcode, Wqe, ibv_post_recv, ibv_post_send, ibv_wait_cq
+from ..units import MIB
+from .gpu_rma import gpu_rma_post, gpu_rma_wait_notification
+from .gpu_verbs import gpu_post_send, gpu_wait_cq
+from .modes import ExtollMode, IbMode
+from .pingpong import FLAG_REQUEST, FLAG_SENT, _gpu_write_marker, _marker_offset, _marker_predicate
+from .results import BandwidthPoint
+from .setup import ExtollConnection, IbConnection
+
+_WINDOW = 4
+
+
+def default_message_count(size: int) -> int:
+    """Enough messages to amortize startup without exploding the event count."""
+    return max(8, min(48, (8 * MIB) // size))
+
+
+@dataclass
+class _StreamTiming:
+    start: float = 0.0
+    end: float = 0.0
+
+
+def run_extoll_bandwidth(cluster: Cluster, conn: ExtollConnection,
+                         mode: ExtollMode, size: int,
+                         count: int | None = None) -> BandwidthPoint:
+    if size <= 0:
+        raise BenchmarkError(f"size must be positive, got {size}")
+    if size > conn.a.send_buf.size:
+        raise BenchmarkError(f"size {size} exceeds buffer")
+    count = count or default_message_count(size)
+    timing = _StreamTiming()
+    for end in (conn.a, conn.b):
+        end.reset_flags()
+
+    if mode is ExtollMode.DIRECT:
+        handles = _extoll_bw_direct(conn, size, count, timing)
+    elif mode is ExtollMode.ASSISTED:
+        handles = _extoll_bw_assisted(conn, size, count, timing)
+    elif mode is ExtollMode.HOST_CONTROLLED:
+        handles = _extoll_bw_host(conn, size, count, timing)
+    else:
+        raise BenchmarkError(f"{mode} is not a bandwidth configuration (§V-A1)")
+
+    cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    return BandwidthPoint(size=size, bytes_moved=size * count,
+                          elapsed=timing.end - timing.start)
+
+
+def _extoll_bw_wr(conn, size, flags):
+    return RmaWorkRequest(op=RmaOp.PUT, port=conn.a.port.port_id, dst_node=1,
+                          src_nla=conn.a.send_nla.base,
+                          dst_nla=conn.b.recv_nla.base, size=size, flags=flags)
+
+
+def _extoll_bw_direct(conn, size, count, timing):
+    """GPU streams puts, pipelining on requester notifications; the remote
+    GPU consumes completer notifications to confirm arrival."""
+    wr = _extoll_bw_wr(conn, size,
+                       NotifyFlags.REQUESTER | NotifyFlags.COMPLETER)
+
+    def sender(ctx):
+        req_cur = conn.a.requester_cursor()
+        timing.start = ctx.sim.now
+        outstanding = 0
+        for _ in range(count):
+            if outstanding >= _WINDOW:
+                yield from gpu_rma_wait_notification(ctx, req_cur)
+                outstanding -= 1
+            yield from gpu_rma_post(ctx, conn.a.port.page_addr, wr)
+            outstanding += 1
+        while outstanding:
+            yield from gpu_rma_wait_notification(ctx, req_cur)
+            outstanding -= 1
+
+    def receiver(ctx):
+        cmpl_cur = conn.b.completer_cursor()
+        for _ in range(count):
+            yield from gpu_rma_wait_notification(ctx, cmpl_cur)
+        timing.end = ctx.sim.now
+
+    return [conn.a.node.gpu.launch(sender), conn.b.node.gpu.launch(receiver)]
+
+
+def _extoll_bw_assisted(conn, size, count, timing):
+    """Per-message GPU->CPU handshake; the CPU posts; the remote CPU confirms
+    arrivals and releases the remote GPU at the end."""
+    wr = _extoll_bw_wr(conn, size,
+                       NotifyFlags.REQUESTER | NotifyFlags.COMPLETER)
+    flags_a = conn.a.flag_page.base
+    flags_b = conn.b.flag_page.base
+
+    def gpu_sender(ctx):
+        timing.start = ctx.sim.now
+        for i in range(1, count + 1):
+            yield from ctx.store_u64(flags_a + FLAG_REQUEST, i)
+            yield from ctx.spin_until_u64(flags_a + FLAG_SENT,
+                                          lambda v, i=i: v == i)
+
+    def cpu_sender_proxy(ctx):
+        req_cur = conn.a.requester_cursor()
+        for i in range(1, count + 1):
+            yield from ctx.spin_until_u64(flags_a + FLAG_REQUEST,
+                                          lambda v, i=i: v >= i)
+            yield from rma_post(ctx, conn.a.port.page_addr, wr)
+            yield from rma_wait_notification(ctx, req_cur)
+            yield from ctx.write_u64(flags_a + FLAG_SENT, i)
+
+    def cpu_receiver(ctx):
+        cmpl_cur = conn.b.completer_cursor()
+        for _ in range(count):
+            yield from rma_wait_notification(ctx, cmpl_cur)
+        timing.end = ctx.sim.now
+        yield from ctx.write_u64(flags_b + FLAG_REQUEST, count)
+
+    def gpu_receiver(ctx):
+        yield from ctx.spin_until_u64(flags_b + FLAG_REQUEST,
+                                      lambda v: v == count)
+
+    return [conn.a.node.gpu.launch(gpu_sender),
+            conn.a.node.cpu.spawn(cpu_sender_proxy, name="bw-proxy"),
+            conn.b.node.cpu.spawn(cpu_receiver, name="bw-recv"),
+            conn.b.node.gpu.launch(gpu_receiver)]
+
+
+def _extoll_bw_host(conn, size, count, timing):
+    wr = _extoll_bw_wr(conn, size,
+                       NotifyFlags.REQUESTER | NotifyFlags.COMPLETER)
+
+    def sender(ctx):
+        req_cur = conn.a.requester_cursor()
+        timing.start = ctx.sim.now
+        outstanding = 0
+        for _ in range(count):
+            if outstanding >= _WINDOW:
+                yield from rma_wait_notification(ctx, req_cur)
+                outstanding -= 1
+            yield from rma_post(ctx, conn.a.port.page_addr, wr)
+            outstanding += 1
+        while outstanding:
+            yield from rma_wait_notification(ctx, req_cur)
+            outstanding -= 1
+
+    def receiver(ctx):
+        cmpl_cur = conn.b.completer_cursor()
+        for _ in range(count):
+            yield from rma_wait_notification(ctx, cmpl_cur)
+        timing.end = ctx.sim.now
+
+    return [conn.a.node.cpu.spawn(sender, name="bw-send"),
+            conn.b.node.cpu.spawn(receiver, name="bw-recv")]
+
+
+# =============================================================================
+# InfiniBand
+# =============================================================================
+
+def run_ib_bandwidth(cluster: Cluster, conn: IbConnection, mode: IbMode,
+                     size: int, count: int | None = None) -> BandwidthPoint:
+    if size <= 0:
+        raise BenchmarkError(f"size must be positive, got {size}")
+    if size > conn.a.send_buf.size:
+        raise BenchmarkError(f"size {size} exceeds buffer")
+    count = count or default_message_count(size)
+    timing = _StreamTiming()
+    off = _marker_offset(size)
+    for end in (conn.a, conn.b):
+        end.reset_flags()
+        end.node.gpu.dram.write_u64(end.recv_buf.base + off, 0)
+        end.node.gpu.l2.invalidate(end.recv_buf.base + off, 8)
+
+    if mode in (IbMode.BUF_ON_GPU, IbMode.BUF_ON_HOST):
+        handles = _ib_bw_gpu(conn, size, count, timing)
+    elif mode is IbMode.ASSISTED:
+        handles = _ib_bw_assisted(conn, size, count, timing)
+    elif mode is IbMode.HOST_CONTROLLED:
+        handles = _ib_bw_host(conn, size, count, timing)
+    else:  # pragma: no cover
+        raise BenchmarkError(f"unknown mode {mode}")
+
+    cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    return BandwidthPoint(size=size, bytes_moved=size * count,
+                          elapsed=timing.end - timing.start)
+
+
+def _ib_bw_gpu(conn, size, count, timing):
+    """GPU streams RDMA writes, windowed on send CQEs; the remote GPU polls
+    the last element of the final message (in-order RC, §V-B1)."""
+    off = _marker_offset(size)
+
+    def sender(ctx):
+        consumer = conn.a.send_cq_consumer()
+        outstanding = 0
+        timing.start = ctx.sim.now
+        for i in range(1, count + 1):
+            if outstanding >= _WINDOW:
+                yield from gpu_wait_cq(ctx, consumer)
+                outstanding -= 1
+            yield from _gpu_write_marker(ctx, conn.a.send_buf.base, size, i)
+            wqe = Wqe(opcode=IbOpcode.RDMA_WRITE, wr_id=i,
+                      local_addr=conn.a.send_buf.base, lkey=conn.a.lkey,
+                      length=size, remote_addr=conn.a.remote_recv_addr,
+                      rkey=conn.a.rkey_remote)
+            conn.a.sq_index = yield from gpu_post_send(
+                ctx, conn.a.node.nic, conn.a.qp, wqe, conn.a.sq_index)
+            outstanding += 1
+        while outstanding:
+            yield from gpu_wait_cq(ctx, consumer)
+            outstanding -= 1
+
+    def receiver(ctx):
+        yield from ctx.spin_until_u64(conn.b.recv_buf.base + off,
+                                      _marker_predicate(size, count))
+        timing.end = ctx.sim.now
+
+    return [conn.a.node.gpu.launch(sender), conn.b.node.gpu.launch(receiver)]
+
+
+def _ib_bw_assisted(conn, size, count, timing):
+    """GPU->CPU handshake per message; CPU posts write-with-immediate; the
+    remote CPU reaps receive CQEs."""
+    flags_a = conn.a.flag_page.base
+    flags_b = conn.b.flag_page.base
+
+    def gpu_sender(ctx):
+        timing.start = ctx.sim.now
+        for i in range(1, count + 1):
+            yield from ctx.store_u64(flags_a + FLAG_REQUEST, i)
+            yield from ctx.spin_until_u64(flags_a + FLAG_SENT,
+                                          lambda v, i=i: v == i)
+
+    def cpu_sender(ctx):
+        hca = conn.a.node.nic
+        consumer = conn.a.host_send_cq_consumer()
+        for i in range(1, count + 1):
+            yield from ctx.spin_until_u64(flags_a + FLAG_REQUEST,
+                                          lambda v, i=i: v >= i)
+            wqe = Wqe(opcode=IbOpcode.RDMA_WRITE_WITH_IMM, wr_id=i,
+                      local_addr=conn.a.send_buf.base, lkey=conn.a.lkey,
+                      length=size, remote_addr=conn.a.remote_recv_addr,
+                      rkey=conn.a.rkey_remote, immediate=i)
+            conn.a.sq_index = yield from ibv_post_send(
+                ctx, hca, conn.a.qp, wqe, conn.a.sq_index)
+            yield from ibv_wait_cq(ctx, consumer)
+            yield from ctx.write_u64(flags_a + FLAG_SENT, i)
+
+    def cpu_receiver(ctx):
+        hca = conn.b.node.nic
+        consumer = conn.b.host_recv_cq_consumer()
+        for _ in range(min(16, count)):
+            conn.b.rq_index = yield from ibv_post_recv(
+                ctx, hca, conn.b.qp,
+                Wqe(opcode=IbOpcode.RECV, wr_id=0, local_addr=0, lkey=0,
+                    length=max(size, 1)), conn.b.rq_index)
+        for i in range(count):
+            yield from ibv_wait_cq(ctx, consumer)
+            if i + 16 < count:
+                conn.b.rq_index = yield from ibv_post_recv(
+                    ctx, hca, conn.b.qp,
+                    Wqe(opcode=IbOpcode.RECV, wr_id=0, local_addr=0, lkey=0,
+                        length=max(size, 1)), conn.b.rq_index)
+        timing.end = ctx.sim.now
+        yield from ctx.write_u64(flags_b + FLAG_REQUEST, count)
+
+    def gpu_receiver(ctx):
+        yield from ctx.spin_until_u64(flags_b + FLAG_REQUEST,
+                                      lambda v: v == count)
+
+    return [conn.a.node.gpu.launch(gpu_sender),
+            conn.a.node.cpu.spawn(cpu_sender, name="ib-bw-proxy"),
+            conn.b.node.cpu.spawn(cpu_receiver, name="ib-bw-recv"),
+            conn.b.node.gpu.launch(gpu_receiver)]
+
+
+def _ib_bw_host(conn, size, count, timing):
+    """CPU streams write-with-immediate, windowed on send CQEs; the remote
+    CPU counts receive CQEs."""
+
+    def sender(ctx):
+        hca = conn.a.node.nic
+        consumer = conn.a.host_send_cq_consumer()
+        outstanding = 0
+        timing.start = ctx.sim.now
+        for i in range(1, count + 1):
+            if outstanding >= _WINDOW:
+                yield from ibv_wait_cq(ctx, consumer)
+                outstanding -= 1
+            wqe = Wqe(opcode=IbOpcode.RDMA_WRITE_WITH_IMM, wr_id=i,
+                      local_addr=conn.a.send_buf.base, lkey=conn.a.lkey,
+                      length=size, remote_addr=conn.a.remote_recv_addr,
+                      rkey=conn.a.rkey_remote, immediate=i)
+            conn.a.sq_index = yield from ibv_post_send(
+                ctx, hca, conn.a.qp, wqe, conn.a.sq_index)
+            outstanding += 1
+        while outstanding:
+            yield from ibv_wait_cq(ctx, consumer)
+            outstanding -= 1
+
+    def receiver(ctx):
+        hca = conn.b.node.nic
+        consumer = conn.b.host_recv_cq_consumer()
+        for _ in range(min(32, count)):
+            conn.b.rq_index = yield from ibv_post_recv(
+                ctx, hca, conn.b.qp,
+                Wqe(opcode=IbOpcode.RECV, wr_id=0, local_addr=0, lkey=0,
+                    length=max(size, 1)), conn.b.rq_index)
+        for i in range(count):
+            yield from ibv_wait_cq(ctx, consumer)
+            if i + 32 < count:
+                conn.b.rq_index = yield from ibv_post_recv(
+                    ctx, hca, conn.b.qp,
+                    Wqe(opcode=IbOpcode.RECV, wr_id=0, local_addr=0, lkey=0,
+                        length=max(size, 1)), conn.b.rq_index)
+        timing.end = ctx.sim.now
+
+    return [conn.a.node.cpu.spawn(sender, name="ib-bw-send"),
+            conn.b.node.cpu.spawn(receiver, name="ib-bw-recv")]

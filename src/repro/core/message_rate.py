@@ -1,0 +1,330 @@
+"""Sustained message-rate microbenchmarks (Figs. 2 and 5).
+
+64-byte messages over 1..32 connection pairs.  "For every port that is
+opened a new requester page on the PCIe BAR is allocated avoiding race
+conditions when multiple descriptors are posted in parallel" (§V-A2) — each
+block, kernel, or host loop owns a private connection.
+
+Methods:
+
+* ``dev2dev-blocks``  — one kernel, one CUDA block per connection,
+* ``dev2dev-kernels`` — one single-block kernel per stream per connection,
+* ``dev2dev-assisted`` — blocks raise flags; ONE CPU proxy thread serves all
+  connections round-robin ("If one block or kernel has a communication
+  request, the thread is blocked for all other aspirants"),
+* ``dev2dev-hostControlled`` — one CPU thread drives all connections,
+  pipelining posts and reaping notifications/CQEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..cluster import Cluster
+from ..errors import BenchmarkError
+from ..extoll import (
+    NotifyFlags,
+    RmaOp,
+    RmaWorkRequest,
+    rma_post,
+    rma_try_notification,
+    rma_wait_notification,
+)
+from ..ib import IbOpcode, Wqe, ibv_poll_cq, ibv_post_send, ibv_wait_cq
+from .gpu_rma import gpu_rma_post, gpu_rma_wait_notification
+from .gpu_verbs import gpu_post_send, gpu_wait_cq
+from .modes import RateMethod
+from .pingpong import FLAG_REQUEST, FLAG_SENT
+from .results import RatePoint
+from .setup import ExtollConnection, IbConnection
+
+MESSAGE_BYTES = 64
+
+
+@dataclass
+class _RateTiming:
+    starts: List[float] = field(default_factory=list)
+    ends: List[float] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        return max(self.ends) - min(self.starts)
+
+
+def _check(connections, per_connection):
+    if not connections:
+        raise BenchmarkError("need at least one connection")
+    if per_connection < 1:
+        raise BenchmarkError("need at least one message per connection")
+
+
+# =============================================================================
+# EXTOLL (Fig. 2)
+# =============================================================================
+
+def _extoll_rate_wr(conn: ExtollConnection) -> RmaWorkRequest:
+    return RmaWorkRequest(
+        op=RmaOp.PUT, port=conn.a.port.port_id, dst_node=1,
+        src_nla=conn.a.send_nla.base, dst_nla=conn.b.recv_nla.base,
+        size=MESSAGE_BYTES, flags=NotifyFlags.REQUESTER)
+
+
+def run_extoll_message_rate(cluster: Cluster,
+                            connections: List[ExtollConnection],
+                            method: RateMethod,
+                            per_connection: int = 120) -> RatePoint:
+    _check(connections, per_connection)
+    timing = _RateTiming()
+    for conn in connections:
+        conn.a.reset_flags()
+        conn.b.reset_flags()
+
+    if method is RateMethod.BLOCKS:
+        handles = _extoll_rate_blocks(cluster, connections, per_connection,
+                                      timing, kernels=False)
+    elif method is RateMethod.KERNELS:
+        handles = _extoll_rate_blocks(cluster, connections, per_connection,
+                                      timing, kernels=True)
+    elif method is RateMethod.ASSISTED:
+        handles = _extoll_rate_assisted(cluster, connections, per_connection,
+                                        timing)
+    elif method is RateMethod.HOST_CONTROLLED:
+        handles = _extoll_rate_host(cluster, connections, per_connection,
+                                    timing)
+    else:  # pragma: no cover
+        raise BenchmarkError(f"unknown method {method}")
+
+    cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    return RatePoint(connections=len(connections),
+                     messages=len(connections) * per_connection,
+                     elapsed=timing.elapsed)
+
+
+def _extoll_block_body(conn: ExtollConnection, per_connection: int,
+                       timing: _RateTiming):
+    wr = _extoll_rate_wr(conn)
+
+    def body(ctx):
+        req_cur = conn.a.requester_cursor()
+        timing.starts.append(ctx.sim.now)
+        for _ in range(per_connection):
+            yield from gpu_rma_post(ctx, conn.a.port.page_addr, wr)
+            yield from gpu_rma_wait_notification(ctx, req_cur)
+        timing.ends.append(ctx.sim.now)
+
+    return body
+
+
+def _extoll_rate_blocks(cluster, connections, per_connection, timing, kernels):
+    gpu = connections[0].a.node.gpu
+    bodies = [_extoll_block_body(c, per_connection, timing)
+              for c in connections]
+    if kernels:
+        # One single-block kernel per stream (§V-A2).
+        return [gpu.launch(body, grid=1, block=1, stream=gpu.stream())
+                for body in bodies]
+
+    # One kernel, one block per connection: block_idx selects the body.
+    def dispatch(ctx):
+        yield from bodies[ctx.block_idx](ctx)
+
+    return [gpu.launch(dispatch, grid=len(connections), block=1)]
+
+
+def _extoll_rate_assisted(cluster, connections, per_connection, timing):
+    """One CPU proxy serves every block's requests round-robin."""
+    gpu = connections[0].a.node.gpu
+    cpu = connections[0].a.node.cpu
+
+    def gpu_block(ctx):
+        conn = connections[ctx.block_idx]
+        flags = conn.a.flag_page.base
+        timing.starts.append(ctx.sim.now)
+        for i in range(1, per_connection + 1):
+            yield from ctx.store_u64(flags + FLAG_REQUEST, i)
+            yield from ctx.spin_until_u64(flags + FLAG_SENT,
+                                          lambda v, i=i: v == i)
+        timing.ends.append(ctx.sim.now)
+
+    def proxy(ctx):
+        wrs = [_extoll_rate_wr(c) for c in connections]
+        cursors = [c.a.requester_cursor() for c in connections]
+        served = [0] * len(connections)
+        acked = [0] * len(connections)
+        while any(s < per_connection for s in served):
+            progressed = False
+            for j, conn in enumerate(connections):
+                if served[j] >= per_connection:
+                    continue
+                flags = conn.a.flag_page.base
+                req = yield from ctx.read_u64(flags + FLAG_REQUEST)
+                if req > acked[j]:
+                    # Serve this block, blocking all other aspirants (§V-B2).
+                    yield from rma_post(ctx, conn.a.port.page_addr, wrs[j])
+                    yield from rma_wait_notification(ctx, cursors[j])
+                    acked[j] += 1
+                    served[j] += 1
+                    yield from ctx.write_u64(flags + FLAG_SENT, acked[j])
+                    progressed = True
+            if not progressed:
+                yield from ctx.sleep(0.5e-6)
+
+    return [gpu.launch(gpu_block, grid=len(connections), block=1),
+            cpu.spawn(proxy, name="rate-proxy")]
+
+
+def _extoll_rate_host(cluster, connections, per_connection, timing):
+    """One CPU thread pipelines posts across every port, reaping requester
+    notifications to bound per-port outstanding descriptors."""
+    cpu = connections[0].a.node.cpu
+
+    def body(ctx):
+        wrs = [_extoll_rate_wr(c) for c in connections]
+        cursors = [c.a.requester_cursor() for c in connections]
+        posted = [0] * len(connections)
+        reaped = [0] * len(connections)
+        timing.starts.append(ctx.sim.now)
+        while any(r < per_connection for r in reaped):
+            for j, conn in enumerate(connections):
+                if posted[j] < per_connection and posted[j] - reaped[j] < 2:
+                    yield from rma_post(ctx, conn.a.port.page_addr, wrs[j])
+                    posted[j] += 1
+                if reaped[j] < posted[j]:
+                    note = yield from rma_try_notification(ctx, cursors[j])
+                    if note is not None:
+                        reaped[j] += 1
+        timing.ends.append(ctx.sim.now)
+
+    return [cpu.spawn(body, name="rate-host")]
+
+
+# =============================================================================
+# InfiniBand (Fig. 5)
+# =============================================================================
+
+def run_ib_message_rate(cluster: Cluster, connections: List[IbConnection],
+                        method: RateMethod,
+                        per_connection: int = 120) -> RatePoint:
+    _check(connections, per_connection)
+    timing = _RateTiming()
+    for conn in connections:
+        conn.a.reset_flags()
+        conn.b.reset_flags()
+
+    if method is RateMethod.BLOCKS:
+        handles = _ib_rate_blocks(cluster, connections, per_connection,
+                                  timing, kernels=False)
+    elif method is RateMethod.KERNELS:
+        handles = _ib_rate_blocks(cluster, connections, per_connection,
+                                  timing, kernels=True)
+    elif method is RateMethod.ASSISTED:
+        handles = _ib_rate_assisted(cluster, connections, per_connection,
+                                    timing)
+    elif method is RateMethod.HOST_CONTROLLED:
+        handles = _ib_rate_host(cluster, connections, per_connection, timing)
+    else:  # pragma: no cover
+        raise BenchmarkError(f"unknown method {method}")
+
+    cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    return RatePoint(connections=len(connections),
+                     messages=len(connections) * per_connection,
+                     elapsed=timing.elapsed)
+
+
+def _ib_rate_wqe(conn: IbConnection, wr_id: int) -> Wqe:
+    return Wqe(opcode=IbOpcode.RDMA_WRITE, wr_id=wr_id,
+               local_addr=conn.a.send_buf.base, lkey=conn.a.lkey,
+               length=MESSAGE_BYTES, remote_addr=conn.a.remote_recv_addr,
+               rkey=conn.a.rkey_remote)
+
+
+def _ib_block_body(conn: IbConnection, per_connection: int,
+                   timing: _RateTiming):
+    def body(ctx):
+        consumer = conn.a.send_cq_consumer()
+        timing.starts.append(ctx.sim.now)
+        for i in range(1, per_connection + 1):
+            conn.a.sq_index = yield from gpu_post_send(
+                ctx, conn.a.node.nic, conn.a.qp, _ib_rate_wqe(conn, i),
+                conn.a.sq_index)
+            yield from gpu_wait_cq(ctx, consumer)
+        timing.ends.append(ctx.sim.now)
+
+    return body
+
+
+def _ib_rate_blocks(cluster, connections, per_connection, timing, kernels):
+    gpu = connections[0].a.node.gpu
+    bodies = [_ib_block_body(c, per_connection, timing) for c in connections]
+    if kernels:
+        return [gpu.launch(body, grid=1, block=1, stream=gpu.stream())
+                for body in bodies]
+
+    def dispatch(ctx):
+        yield from bodies[ctx.block_idx](ctx)
+
+    return [gpu.launch(dispatch, grid=len(connections), block=1)]
+
+
+def _ib_rate_assisted(cluster, connections, per_connection, timing):
+    gpu = connections[0].a.node.gpu
+    cpu = connections[0].a.node.cpu
+
+    def gpu_block(ctx):
+        conn = connections[ctx.block_idx]
+        flags = conn.a.flag_page.base
+        timing.starts.append(ctx.sim.now)
+        for i in range(1, per_connection + 1):
+            yield from ctx.store_u64(flags + FLAG_REQUEST, i)
+            yield from ctx.spin_until_u64(flags + FLAG_SENT,
+                                          lambda v, i=i: v == i)
+        timing.ends.append(ctx.sim.now)
+
+    def proxy(ctx):
+        consumers = [c.a.host_send_cq_consumer() for c in connections]
+        served = [0] * len(connections)
+        while any(s < per_connection for s in served):
+            progressed = False
+            for j, conn in enumerate(connections):
+                if served[j] >= per_connection:
+                    continue
+                flags = conn.a.flag_page.base
+                req = yield from ctx.read_u64(flags + FLAG_REQUEST)
+                if req > served[j]:
+                    conn.a.sq_index = yield from ibv_post_send(
+                        ctx, conn.a.node.nic, conn.a.qp,
+                        _ib_rate_wqe(conn, served[j] + 1), conn.a.sq_index)
+                    yield from ibv_wait_cq(ctx, consumers[j])
+                    served[j] += 1
+                    yield from ctx.write_u64(flags + FLAG_SENT, served[j])
+                    progressed = True
+            if not progressed:
+                yield from ctx.sleep(0.5e-6)
+
+    return [gpu.launch(gpu_block, grid=len(connections), block=1),
+            cpu.spawn(proxy, name="ib-rate-proxy")]
+
+
+def _ib_rate_host(cluster, connections, per_connection, timing):
+    cpu = connections[0].a.node.cpu
+
+    def body(ctx):
+        consumers = [c.a.host_send_cq_consumer() for c in connections]
+        posted = [0] * len(connections)
+        reaped = [0] * len(connections)
+        timing.starts.append(ctx.sim.now)
+        while any(r < per_connection for r in reaped):
+            for j, conn in enumerate(connections):
+                if posted[j] < per_connection and posted[j] - reaped[j] < 4:
+                    conn.a.sq_index = yield from ibv_post_send(
+                        ctx, conn.a.node.nic, conn.a.qp,
+                        _ib_rate_wqe(conn, posted[j] + 1), conn.a.sq_index)
+                    posted[j] += 1
+                if reaped[j] < posted[j]:
+                    cqe = yield from ibv_poll_cq(ctx, consumers[j])
+                    if cqe is not None:
+                        reaped[j] += 1
+        timing.ends.append(ctx.sim.now)
+
+    return [cpu.spawn(body, name="ib-rate-host")]

@@ -1,0 +1,205 @@
+"""A GPU-resident two-sided messaging layer over put/get — the paper's
+stated future work ("we gear to work towards GPU communication libraries
+that meet the previously stated claims", §VIII).
+
+Design, following the §VI claims:
+
+* **claim 1 (small footprint)** — per channel direction: a ring of ``slots``
+  fixed-size slots in the *receiver's* device memory plus one 8-byte credit
+  word in the *sender's* device memory.  No notification queues at all.
+* **claim 2 (thread-collaborative)** — descriptors are posted with the wide
+  store of :mod:`repro.core.future`.
+* **claim 3 (minimal PCIe control traffic)** — all polling (message arrival,
+  credit return) happens in device memory through the L2; the only PCIe
+  traffic a message costs is its payload put and, every ``slots/2``
+  messages, one 8-byte credit-return put.
+
+Wire format of a slot: ``payload .. | header:u64`` where
+``header = (seq << 16) | length``.  EXTOLL delivers puts in order, so the
+header landing implies the payload landed (§V-B1's last-element argument).
+Messages up to ``slot_size - 8`` bytes travel in one slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import Cluster
+from ..errors import BenchmarkError
+from ..extoll import NotifyFlags, RmaOp, RmaWorkRequest
+from ..gpu import ThreadCtx
+from ..memory import AddressRange
+from .future import gpu_rma_post_wide
+
+_HEADER_BYTES = 8
+_SEQ_SHIFT = 16
+_LEN_MASK = (1 << _SEQ_SHIFT) - 1
+
+
+@dataclass
+class ChannelEnd:
+    """One direction of a channel, as seen by its *sender*.
+
+    The receiver uses the same object through :func:`gpu_recv`; device code
+    on each node only ever touches addresses local to (or mapped into) its
+    own GPU.
+    """
+
+    # Topology.
+    src_node_id: int
+    dst_node_id: int
+    port_id: int
+    page_addr: int                 # sender-side BAR requester page
+    # Sender-local resources.
+    staging: AddressRange          # device memory the payload is built in
+    staging_nla: AddressRange
+    credit_word: AddressRange      # device memory; receiver puts credits here
+    credit_word_nla: AddressRange
+    # Receiver-local resources (NLAs are what the sender addresses).
+    ring: AddressRange             # device memory ring in the receiver GPU
+    ring_nla: AddressRange
+    slot_size: int
+    slots: int
+    # Receiver-side scratch for credit-return puts (in the receiver's GPU,
+    # i.e. local to whoever calls gpu_recv on this end's messages).
+    credit_staging: AddressRange = None
+    credit_staging_nla: AddressRange = None
+    # Progress counters (software state).
+    next_seq: int = 1              # sender: next message sequence number
+    consumed: int = 0              # receiver: messages taken out of the ring
+    credits_returned: int = 0      # receiver: last credit value put back
+
+    @property
+    def payload_capacity(self) -> int:
+        return self.slot_size - _HEADER_BYTES
+
+    def slot_offset(self, seq: int) -> int:
+        return ((seq - 1) % self.slots) * self.slot_size
+
+
+@dataclass
+class Channel:
+    """A bidirectional channel between two nodes: one ring per direction."""
+
+    a_to_b: ChannelEnd
+    b_to_a: ChannelEnd
+
+    def end_for_sender(self, node_id: int) -> ChannelEnd:
+        return self.a_to_b if node_id == self.a_to_b.src_node_id else self.b_to_a
+
+    def end_for_receiver(self, node_id: int) -> ChannelEnd:
+        return self.a_to_b if node_id == self.a_to_b.dst_node_id else self.b_to_a
+
+
+def create_channel(cluster: Cluster, slot_size: int = 256,
+                   slots: int = 16) -> Channel:
+    """Host-side setup: allocate rings/staging/credit words, register them,
+    open a port pair, map everything the device code needs."""
+    if slot_size <= _HEADER_BYTES or slot_size % 8:
+        raise BenchmarkError(
+            f"slot_size must be a multiple of 8 and > {_HEADER_BYTES}")
+    if slots < 2:
+        raise BenchmarkError("need at least 2 slots for flow control")
+
+    ports = [cluster.a.nic.open_port(), cluster.b.nic.open_port()]
+    ends = []
+    for src, dst, port in ((cluster.a, cluster.b, ports[0]),
+                           (cluster.b, cluster.a, ports[1])):
+        # Staging mirrors the ring depth: slot for seq is reused only after
+        # the flow-control credit proves the receiver consumed seq-slots,
+        # which in turn proves the NIC finished its DMA read long before.
+        staging = src.gpu_malloc(slot_size * slots)
+        credit = src.gpu_malloc(8)
+        credit_staging = dst.gpu_malloc(8)  # receiver-side scratch
+        ring = dst.gpu_malloc(slot_size * slots)
+        dst.gpu.dram.fill(ring.base, ring.size, 0)
+        src.gpu.dram.write_u64(credit.base, 0)
+        src.gpu.map_mmio(AddressRange(port.page_addr, 4096))
+        ends.append(ChannelEnd(
+            src_node_id=src.node_id, dst_node_id=dst.node_id,
+            port_id=port.port_id, page_addr=port.page_addr,
+            staging=staging, staging_nla=src.nic.register_memory(staging),
+            credit_word=credit,
+            credit_word_nla=src.nic.register_memory(credit),
+            credit_staging=credit_staging,
+            credit_staging_nla=dst.nic.register_memory(credit_staging),
+            ring=ring, ring_nla=dst.nic.register_memory(ring),
+            slot_size=slot_size, slots=slots,
+        ))
+    return Channel(*ends)
+
+
+# --- device-side API --------------------------------------------------------------
+
+def gpu_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes):
+    """Send one message (device code, sender side).
+
+    Blocks (spinning on the local credit word, an L2 hit) while the remote
+    ring is full; then stages payload+header and posts a single put covering
+    the whole slot.
+    """
+    if len(data) > end.payload_capacity:
+        raise BenchmarkError(
+            f"message of {len(data)} bytes exceeds slot payload "
+            f"{end.payload_capacity}")
+    seq = end.next_seq
+    # Flow control: at most ``slots`` unacked messages in flight.
+    if seq - 1 >= end.slots:
+        min_credit = seq - end.slots
+        yield from ctx.spin_until_u64(end.credit_word.base,
+                                      lambda v, m=min_credit: v >= m)
+    # Stage payload (padded to 8-byte words) then the header, in this
+    # message's staging slot.
+    stage_base = end.staging.base + end.slot_offset(seq)
+    padded = data + bytes(-len(data) % 8)
+    offset = 0
+    while offset < len(padded):
+        chunk = padded[offset:offset + 8]
+        yield from ctx.store(stage_base + offset, chunk)
+        offset += 8
+    header = (seq << _SEQ_SHIFT) | len(data)
+    yield from ctx.store_u64(stage_base + end.slot_size - _HEADER_BYTES,
+                             header)
+    wr = RmaWorkRequest(
+        op=RmaOp.PUT, port=end.port_id, dst_node=end.dst_node_id,
+        src_nla=end.staging_nla.base + end.slot_offset(seq),
+        dst_nla=end.ring_nla.base + end.slot_offset(seq),
+        size=end.slot_size, flags=NotifyFlags.NONE)
+    yield from gpu_rma_post_wide(ctx, end.page_addr, wr)
+    end.next_seq += 1
+
+
+def gpu_recv(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd):
+    """Receive the next message (device code, receiver side).
+
+    ``reverse`` is the opposite-direction end (sender side on this node),
+    used to put credit returns back.  Returns the payload bytes.
+    """
+    seq = end.consumed + 1
+    slot_base = end.ring.base + end.slot_offset(seq)
+    header_addr = slot_base + end.slot_size - _HEADER_BYTES
+    header, _polls = yield from ctx.spin_until_u64(
+        header_addr, lambda v, s=seq: (v >> _SEQ_SHIFT) == s)
+    length = header & _LEN_MASK
+    data = b""
+    offset = 0
+    while offset < length:
+        step = min(8, length - offset)
+        word = yield from ctx.load(slot_base + offset, 8)
+        data += word[:step]
+        offset += step
+    end.consumed = seq
+    # Return credits every half ring so the sender rarely stalls, and the
+    # control traffic stays at one 8-byte put per slots/2 messages (§VI-3).
+    # The scratch word and the outgoing port both belong to *this* node:
+    # `end.credit_staging` lives in the receiver's GPU, `reverse` is this
+    # node's sending direction.
+    if end.consumed - end.credits_returned >= max(1, end.slots // 2):
+        yield from ctx.store_u64(end.credit_staging.base, end.consumed)
+        credit_wr = RmaWorkRequest(
+            op=RmaOp.PUT, port=reverse.port_id, dst_node=reverse.dst_node_id,
+            src_nla=end.credit_staging_nla.base,
+            dst_nla=end.credit_word_nla.base, size=8, flags=NotifyFlags.NONE)
+        yield from gpu_rma_post_wide(ctx, reverse.page_addr, credit_wr)
+        end.credits_returned = end.consumed
+    return data

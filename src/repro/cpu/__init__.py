@@ -1,0 +1,6 @@
+"""Host CPU model: cores, host threads, timing config."""
+
+from .config import CpuConfig
+from .core import Cpu, HostThread
+
+__all__ = ["Cpu", "CpuConfig", "HostThread"]

@@ -1,0 +1,35 @@
+"""Host-CPU timing parameters (Xeon-class core of the paper's testbed)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import NS
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    name: str = "xeon-e5"
+    clock_hz: float = 3.0e9
+    # Visible latencies of single operations from one core.
+    mem_read_latency: float = 75 * NS      # host DRAM (cache-missing read)
+    mem_write_latency: float = 15 * NS     # store-buffer drain, amortized
+    mmio_write_overhead: float = 70 * NS   # WC buffer / uncached store issue
+    mmio_read_overhead: float = 120 * NS   # uncached read issue
+    cached_poll_latency: float = 8 * NS    # polling a line that stays in LLC
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+        for attr in ("mem_read_latency", "mem_write_latency",
+                     "mmio_write_overhead", "mmio_read_overhead",
+                     "cached_poll_latency"):
+            if getattr(self, attr) < 0:
+                raise ConfigError(f"{attr} must be non-negative")
+
+    @property
+    def instruction_time(self) -> float:
+        """One simple ALU instruction (superscalar amortization ignored for
+        the control-path code we model)."""
+        return 1.0 / self.clock_hz

@@ -1,0 +1,37 @@
+"""EXTOLL NIC model: ATU/NLAs, RMA unit, notifications, host API."""
+
+from .api import NotificationCursor, rma_post, rma_try_notification, rma_wait_notification
+from .atu import Atu, NLA_BASE, NLA_PAGE
+from .config import ExtollConfig, asic_config
+from .descriptor import NotifyFlags, RmaOp, RmaWorkRequest, WR_BYTES
+from .nic import ExtollNic, RmaPort
+from .notification import (
+    NOTIFICATION_BYTES,
+    Notification,
+    NotificationQueue,
+    RmaUnitKind,
+)
+from .rma import RmaUnit
+
+__all__ = [
+    "Atu",
+    "NLA_BASE",
+    "NLA_PAGE",
+    "ExtollConfig",
+    "asic_config",
+    "NotifyFlags",
+    "RmaOp",
+    "RmaWorkRequest",
+    "WR_BYTES",
+    "ExtollNic",
+    "RmaPort",
+    "Notification",
+    "NotificationQueue",
+    "NotificationCursor",
+    "NOTIFICATION_BYTES",
+    "RmaUnitKind",
+    "RmaUnit",
+    "rma_post",
+    "rma_try_notification",
+    "rma_wait_notification",
+]

@@ -1,0 +1,88 @@
+"""EXTOLL NIC parameters.
+
+The paper's cards are FPGA-based Galibier boards: 157 MHz core clock and a
+64-bit internal datapath (§V) — the authors expect ~700 MHz / 128-bit for an
+ASIC.  Unit costs below are cycle counts at that clock, so the ASIC ablation
+is a one-line config change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..network import NetLinkConfig
+from ..units import GB_PER_S, KIB, NS
+
+
+@dataclass(frozen=True)
+class ExtollConfig:
+    name: str = "galibier-fpga"
+    clock_hz: float = 157e6
+    datapath_bytes: int = 8            # 64-bit internal datapath
+
+    # Unit pipeline costs (cycles at clock_hz) per descriptor/packet.  The
+    # 64-bit FPGA datapath needs tens of cycles to ingest and schedule a
+    # 192-bit WR; this serial stage caps the card at ~2M WRs/s (Fig. 2 top).
+    requester_cycles: int = 80
+    completer_cycles: int = 80
+    responder_cycles: int = 40
+
+    # Wire format.
+    wr_bytes: int = 24                 # 192-bit work request (§V-A3)
+    notification_bytes: int = 16       # 128-bit notification
+    packet_header_bytes: int = 40
+
+    # Link: 4 lanes of the FPGA SerDes; effective payload rate ~0.95 GB/s,
+    # which caps the measured ~800 MB/s streaming bandwidth of Fig. 1b.
+    link: NetLinkConfig = field(default_factory=lambda: NetLinkConfig(
+        bandwidth=0.95 * GB_PER_S, latency=480 * NS))
+
+    # BAR layout.
+    bar_size: int = 1024 * KIB
+    requester_page_offset: int = 64 * KIB
+    requester_page_size: int = 4 * KIB
+    max_ports: int = 64
+
+    # Notification queues (allocated in kernel space at driver load, §III-B).
+    notification_queue_entries: int = 256
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+        if self.wr_bytes != 24:
+            raise ConfigError("the RMA descriptor format is fixed at 24 bytes")
+        if self.notification_bytes != 16:
+            raise ConfigError("the notification format is fixed at 16 bytes")
+        if self.max_ports < 1:
+            raise ConfigError("need at least one port")
+        if self.notification_queue_entries < 2:
+            raise ConfigError("notification queues need >= 2 entries")
+        if self.requester_page_offset + self.max_ports * self.requester_page_size \
+                > self.bar_size:
+            raise ConfigError("BAR too small for the requester pages")
+
+    def cycles(self, n: int) -> float:
+        return n / self.clock_hz
+
+    @property
+    def requester_time(self) -> float:
+        return self.cycles(self.requester_cycles)
+
+    @property
+    def completer_time(self) -> float:
+        return self.cycles(self.completer_cycles)
+
+    @property
+    def responder_time(self) -> float:
+        return self.cycles(self.responder_cycles)
+
+
+def asic_config() -> ExtollConfig:
+    """The projected ASIC variant the paper mentions (~700 MHz, 128-bit)."""
+    return ExtollConfig(
+        name="extoll-asic",
+        clock_hz=700e6,
+        datapath_bytes=16,
+        link=NetLinkConfig(bandwidth=5.5 * GB_PER_S, latency=450 * NS),
+    )

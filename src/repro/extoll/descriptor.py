@@ -1,0 +1,93 @@
+"""RMA work-request descriptors — the 192-bit commands written to the BAR.
+
+Layout (three little-endian 64-bit words, matching the "3x64 bit values"
+the paper counts as exactly 3 system-memory writes per posted WR, §V-A3):
+
+* word 0: | op:4 | port:8 | dst_node:8 | flags:8 | size:36 |
+* word 1: source NLA
+* word 2: destination NLA — the write of this word triggers execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import RmaError
+
+WR_BYTES = 24
+
+
+class RmaOp(enum.IntEnum):
+    PUT = 1
+    GET = 2
+
+
+class NotifyFlags(enum.IntFlag):
+    NONE = 0
+    REQUESTER = 1   # notification at the origin when the WR is accepted
+    COMPLETER = 2   # notification at the data's destination side
+    RESPONDER = 4   # notification at the responder (get only)
+
+
+_SIZE_BITS = 36
+_MAX_SIZE = (1 << _SIZE_BITS) - 1
+
+
+@dataclass(frozen=True)
+class RmaWorkRequest:
+    op: RmaOp
+    port: int           # origin port (selects requester page + queues)
+    dst_node: int       # destination node id
+    src_nla: int        # data source (origin-local for put, remote for get)
+    dst_nla: int        # data destination
+    size: int
+    flags: NotifyFlags = NotifyFlags.REQUESTER | NotifyFlags.COMPLETER
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.size > _MAX_SIZE:
+            raise RmaError(f"WR size out of range: {self.size}")
+        if not 0 <= self.port < 256:
+            raise RmaError(f"WR port out of range: {self.port}")
+        if not 0 <= self.dst_node < 256:
+            raise RmaError(f"WR dst_node out of range: {self.dst_node}")
+
+    # -- wire format ------------------------------------------------------------
+    def encode(self) -> bytes:
+        word0 = (
+            (int(self.op) & 0xF)
+            | ((self.port & 0xFF) << 4)
+            | ((self.dst_node & 0xFF) << 12)
+            | ((int(self.flags) & 0xFF) << 20)
+            | ((self.size & _MAX_SIZE) << 28)
+        )
+        return (word0.to_bytes(8, "little")
+                + self.src_nla.to_bytes(8, "little")
+                + self.dst_nla.to_bytes(8, "little"))
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "RmaWorkRequest":
+        if len(raw) != WR_BYTES:
+            raise RmaError(f"descriptor must be {WR_BYTES} bytes, got {len(raw)}")
+        word0 = int.from_bytes(raw[0:8], "little")
+        op_val = word0 & 0xF
+        try:
+            op = RmaOp(op_val)
+        except ValueError:
+            raise RmaError(f"bad RMA opcode {op_val}") from None
+        return cls(
+            op=op,
+            port=(word0 >> 4) & 0xFF,
+            dst_node=(word0 >> 12) & 0xFF,
+            flags=NotifyFlags((word0 >> 20) & 0xFF),
+            src_nla=int.from_bytes(raw[8:16], "little"),
+            dst_nla=int.from_bytes(raw[16:24], "little"),
+            size=(word0 >> 28) & _MAX_SIZE,
+        )
+
+    def words(self) -> tuple[int, int, int]:
+        """The three 64-bit words a GPU thread stores to the BAR page."""
+        raw = self.encode()
+        return (int.from_bytes(raw[0:8], "little"),
+                int.from_bytes(raw[8:16], "little"),
+                int.from_bytes(raw[16:24], "little"))

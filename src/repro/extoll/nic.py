@@ -1,0 +1,154 @@
+"""The EXTOLL NIC: BAR, ports, driver-level resource management.
+
+Construction/wiring follows the driver flow the paper describes:
+
+1. at *driver load*, notification-queue storage is pre-allocated in kernel
+   (host) memory (§III-B / §VI — the placement GPU polling suffers from),
+2. ``open_port()`` assigns a requester page in the BAR plus pre-allocated
+   notification queues to the new port,
+3. ``register_memory()`` runs physical ranges through the ATU, yielding the
+   NLAs that put/get descriptors carry — including GPU BAR1 ranges, which is
+   the GPUDirect driver patch (§III-C).
+
+Writing a complete 24-byte descriptor into a port's requester page hands it
+to the RMA unit; the write of the final 64-bit word triggers execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import RmaError
+from ..memory import AddressRange, Allocator, MmioWindow
+from ..network import Endpoint
+from ..pcie import PcieFabric, PcieLinkConfig, PciePort
+from ..sim import Simulator
+from .atu import Atu
+from .config import ExtollConfig
+from .descriptor import WR_BYTES, RmaWorkRequest
+from .notification import NotificationQueue
+from .rma import RmaUnit
+
+
+@dataclass
+class RmaPort:
+    """An opened RMA port: its BAR page and notification queues."""
+
+    port_id: int
+    page_addr: int                       # node-physical address of the page
+    requester_queue: NotificationQueue
+    completer_queue: NotificationQueue
+    responder_queue: NotificationQueue
+
+    @property
+    def page_range(self) -> AddressRange:
+        return AddressRange(self.page_addr, WR_BYTES)
+
+
+class ExtollNic:
+    """One EXTOLL card in a node."""
+
+    def __init__(self, sim: Simulator, node_id: int, name: str = "",
+                 config: Optional[ExtollConfig] = None) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name or f"extoll{node_id}"
+        self.config = config or ExtollConfig()
+        self.atu = Atu(f"{self.name}.atu")
+        self.bar: Optional[MmioWindow] = None
+        self.rma: Optional[RmaUnit] = None
+        self._ports: Dict[int, RmaPort] = {}
+        self._next_port = 0
+        self._kernel_alloc: Optional[Allocator] = None
+
+    # -- wiring (driver load) ------------------------------------------------------
+    def attach(self, fabric: PcieFabric, bar_base: int,
+               kernel_alloc: Allocator, endpoint: Endpoint,
+               link_config: Optional[PcieLinkConfig] = None) -> PciePort:
+        """Install the NIC into a node: map the BAR, start the RMA unit, and
+        reserve kernel-space notification storage."""
+        if self.bar is not None:
+            raise RmaError(f"{self.name} is already attached")
+        self.bar = MmioWindow(f"{self.name}.bar", bar_base, self.config.bar_size)
+        fabric.address_map.add(self.bar)
+        pcie_port = fabric.attach(self.name, link_config)
+        fabric.claim(pcie_port, self.bar)
+        self._kernel_alloc = kernel_alloc
+        self.rma = RmaUnit(self.sim, self, self.config, pcie_port, self.atu,
+                           endpoint)
+        return pcie_port
+
+    def _require_attached(self) -> None:
+        if self.bar is None or self.rma is None or self._kernel_alloc is None:
+            raise RmaError(f"{self.name} is not attached to a node")
+
+    # -- ports ---------------------------------------------------------------------
+    def open_port(self, port_id: Optional[int] = None,
+                  notification_alloc: Optional[Allocator] = None) -> RmaPort:
+        """Open an RMA port: assign a BAR requester page and notification
+        queues.  ``port_id`` may be pinned so both ends of a connection use
+        matching ids (completer notifications are routed by port id).
+
+        ``notification_alloc`` overrides where the port's notification
+        queues live.  The *stock* driver pins them in kernel host memory at
+        load time (§III-B) — the placement §VI criticizes.  Passing a GPU
+        allocator here models the paper's proposed future API in which
+        notification structures can live in device memory.
+        """
+        self._require_attached()
+        if port_id is None:
+            while self._next_port in self._ports:
+                self._next_port += 1
+            port_id = self._next_port
+        if port_id in self._ports:
+            raise RmaError(f"port {port_id} already open on {self.name}")
+        if not 0 <= port_id < self.config.max_ports:
+            raise RmaError(f"port id {port_id} out of range")
+
+        page_addr = (self.bar.range.base + self.config.requester_page_offset
+                     + port_id * self.config.requester_page_size)
+        alloc = notification_alloc or self._kernel_alloc
+        queues = []
+        for kind in ("req", "cmpl", "resp"):
+            entries = self.config.notification_queue_entries
+            footprint = NotificationQueue.footprint_bytes(entries)
+            rng = alloc.alloc(footprint)
+            queues.append(NotificationQueue(
+                f"{self.name}.p{port_id}.{kind}", alloc.memory,
+                rng.base, entries))
+        port = RmaPort(port_id, page_addr, *queues)
+        self._ports[port_id] = port
+
+        page_off = page_addr - self.bar.range.base
+        self.bar.on_write(page_off, self.config.requester_page_size,
+                          self._make_page_handler(page_off))
+        return port
+
+    def _make_page_handler(self, page_off: int):
+        def handler(rel_off: int, data: bytes) -> None:
+            # The descriptor is executed when its final word arrives —
+            # whether posted as one 24-byte burst (CPU, write-combining) or
+            # as three 64-bit stores (a GPU thread).
+            if rel_off + len(data) >= WR_BYTES:
+                raw = self.bar.store.read(page_off, WR_BYTES)
+                self.rma.post(RmaWorkRequest.decode(raw))
+        return handler
+
+    def port_state(self, port_id: int) -> RmaPort:
+        try:
+            return self._ports[port_id]
+        except KeyError:
+            raise RmaError(
+                f"{self.name}: packet/descriptor for unopened port {port_id}"
+            ) from None
+
+    # -- registration -----------------------------------------------------------------
+    def register_memory(self, phys: AddressRange) -> AddressRange:
+        """ATU registration; works for host DRAM and (patched driver) GPU
+        BAR1 ranges alike.  Returns the NLA window."""
+        self._require_attached()
+        return self.atu.register(phys)
+
+    def deregister_memory(self, nla: AddressRange) -> None:
+        self.atu.deregister(nla)

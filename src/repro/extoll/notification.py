@@ -1,0 +1,130 @@
+"""The EXTOLL notification system.
+
+Hardware units (requester / completer / responder) report progress by writing
+128-bit notification records into ring buffers that the kernel driver
+pre-allocates in *host* memory at load time (§III-B, §VI).  That placement is
+the paper's central EXTOLL finding: software polling a notification queue
+from the GPU pays a PCIe round trip per poll.
+
+Record layout (two little-endian u64 words):
+
+* word 0: | valid:1 | unit:3 | port:8 | size:36 | reserved |
+* word 1: sequence number
+
+Software consumes a record by reading it, zeroing it ("freeing", two 64-bit
+stores) and bumping the queue's 32-bit read pointer, which also lives in the
+queue structure in host memory — the exact store mix Table I attributes to
+system memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import NotificationOverflowError, RmaError
+from ..memory import AddressRange, Memory
+
+NOTIFICATION_BYTES = 16
+READ_PTR_BYTES = 4
+
+
+class RmaUnitKind(enum.IntEnum):
+    REQUESTER = 1
+    COMPLETER = 2
+    RESPONDER = 3
+
+
+@dataclass(frozen=True)
+class Notification:
+    unit: RmaUnitKind
+    port: int
+    size: int
+    seq: int
+
+    def encode(self) -> bytes:
+        word0 = (1
+                 | ((int(self.unit) & 0x7) << 1)
+                 | ((self.port & 0xFF) << 4)
+                 | ((self.size & ((1 << 36) - 1)) << 12))
+        return word0.to_bytes(8, "little") + self.seq.to_bytes(8, "little")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Notification":
+        if len(raw) != NOTIFICATION_BYTES:
+            raise RmaError(f"notification must be {NOTIFICATION_BYTES} bytes")
+        word0 = int.from_bytes(raw[0:8], "little")
+        if not word0 & 1:
+            raise RmaError("decoding an invalid (freed) notification")
+        return cls(
+            unit=RmaUnitKind((word0 >> 1) & 0x7),
+            port=(word0 >> 4) & 0xFF,
+            size=(word0 >> 12) & ((1 << 36) - 1),
+            seq=int.from_bytes(raw[8:16], "little"),
+        )
+
+    @staticmethod
+    def is_valid_word(word0: int) -> bool:
+        return bool(word0 & 1)
+
+
+class NotificationQueue:
+    """One ring of 16-byte notification slots plus its 32-bit read pointer,
+    laid out contiguously in (host) memory:
+
+        [slot 0][slot 1]...[slot N-1][read_ptr:u32]
+
+    The producing hardware keeps the write pointer and a *shadow* of the read
+    pointer; when the shadow suggests the ring is full it re-reads the real
+    read pointer from memory before declaring overflow.
+    """
+
+    def __init__(self, name: str, backing: Memory, base: int, entries: int) -> None:
+        if entries < 2:
+            raise RmaError("queue needs at least 2 entries")
+        self.name = name
+        self.backing = backing
+        self.base = base
+        self.entries = entries
+        self.write_ptr = 0          # hardware-private
+        self.shadow_read_ptr = 0    # hardware-private cache of the real rp
+        backing.fill(base, self.footprint_bytes(entries), 0)
+
+    @staticmethod
+    def footprint_bytes(entries: int) -> int:
+        return entries * NOTIFICATION_BYTES + READ_PTR_BYTES
+
+    @property
+    def range(self) -> AddressRange:
+        return AddressRange(self.base, self.footprint_bytes(self.entries))
+
+    def slot_addr(self, index: int) -> int:
+        return self.base + (index % self.entries) * NOTIFICATION_BYTES
+
+    @property
+    def read_ptr_addr(self) -> int:
+        return self.base + self.entries * NOTIFICATION_BYTES
+
+    # -- hardware side ----------------------------------------------------------
+    def hw_ring_full(self) -> bool:
+        return self.write_ptr - self.shadow_read_ptr >= self.entries
+
+    def hw_refresh_read_ptr(self) -> None:
+        """Re-read the software read pointer from memory (functionally; the
+        producing unit pays the DMA-read time separately)."""
+        self.shadow_read_ptr = self.backing.read_u32(self.read_ptr_addr)
+
+    def hw_claim_slot(self) -> int:
+        """Address to write the next notification to; raises on overflow —
+        'if notifications are used they have to be consumed and freed before
+        the queue overflows' (§III-A)."""
+        if self.hw_ring_full():
+            self.hw_refresh_read_ptr()
+            if self.hw_ring_full():
+                raise NotificationOverflowError(
+                    f"{self.name}: ring overflow at wp={self.write_ptr}, "
+                    f"rp={self.shadow_read_ptr}"
+                )
+        addr = self.slot_addr(self.write_ptr)
+        self.write_ptr += 1
+        return addr

@@ -1,0 +1,190 @@
+"""The RMA unit: requester, completer, and responder pipelines (§III-A).
+
+* **Requester** — consumes work requests posted to the BAR requester pages,
+  starts the data transfer, and emits a requester notification once the
+  transfer has been started (signalling it can accept another WR).
+* **Completer** — handles arriving packets: writes put payloads (and get
+  responses) into registered memory via DMA and emits completer
+  notifications.
+* **Responder** — answers get requests by reading the requested data and
+  sending it back; only active for gets.
+
+The unit validates/translates descriptors serially at the FPGA clock but
+overlaps the DMA payload movement of consecutive requests (bounded by the
+NIC's DMA contexts), which is what lets the message rate scale with
+connection pairs in Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..errors import RmaError
+from ..network import Endpoint, Packet, PacketKind
+from ..pcie import DmaConfig, DmaEngine, PciePort
+from ..sim import Simulator, Store
+from .atu import Atu
+from .config import ExtollConfig
+from .descriptor import NotifyFlags, RmaOp, RmaWorkRequest
+from .notification import Notification, NotificationQueue, RmaUnitKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .nic import ExtollNic, RmaPort
+
+
+class RmaUnit:
+    """The three hardware units plus their interconnecting queues."""
+
+    def __init__(self, sim: Simulator, nic: "ExtollNic", config: ExtollConfig,
+                 pcie_port: PciePort, atu: Atu, endpoint: Endpoint) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.config = config
+        self.atu = atu
+        self.endpoint = endpoint
+        # Payload DMA pipelines several transfers; notifications use their
+        # own small engine so they never stall payload movement.
+        self.dma = DmaEngine(sim, pcie_port, f"{nic.name}.dma",
+                             DmaConfig(contexts=4))
+        self.notif_dma = DmaEngine(sim, pcie_port, f"{nic.name}.notif-dma",
+                                   DmaConfig(contexts=2))
+        self.req_inbox: Store = Store(sim, name=f"{nic.name}.req-inbox")
+        self._seq: Dict[int, int] = {}  # per-port notification sequence
+        # Stats.
+        self.puts_started = 0
+        self.gets_started = 0
+        self.packets_handled = 0
+        self.notifications_written = 0
+        # Asynchronous errors (bad NLA in a descriptor/packet, queue
+        # overflows, ...) are recorded here instead of killing the unit —
+        # the model's analogue of RMA error notifications.
+        self.async_errors: list = []
+        sim.process(self._requester_loop(), name=f"{nic.name}.requester")
+        sim.process(self._receive_loop(), name=f"{nic.name}.rx")
+
+    def _spawn_guarded(self, gen, name: str) -> None:
+        def guarded():
+            try:
+                yield from gen
+            except Exception as exc:
+                self.async_errors.append(exc)
+
+        self.sim.process(guarded(), name=name)
+
+    # -- posting (called from the BAR write handler) -----------------------------
+    def post(self, wr: RmaWorkRequest) -> None:
+        self.req_inbox.put(wr)
+
+    def _next_seq(self, port: int) -> int:
+        self._seq[port] = self._seq.get(port, 0) + 1
+        return self._seq[port]
+
+    # -- notifications ------------------------------------------------------------
+    def _notify(self, queue: Optional[NotificationQueue], unit: RmaUnitKind,
+                port: int, size: int) -> None:
+        """Spawn the DMA write of one notification record."""
+        if queue is None:
+            return
+        record = Notification(unit, port, size, self._next_seq(port))
+        slot = queue.hw_claim_slot()
+
+        def write():
+            yield from self.notif_dma.write(slot, record.encode())
+            self.notifications_written += 1
+
+        self.sim.process(write(), name=f"{self.nic.name}.notif")
+
+    # -- requester ------------------------------------------------------------------
+    def _requester_loop(self):
+        while True:
+            wr = yield self.req_inbox.get()
+            yield self.sim.timeout(self.config.requester_time)
+            port = self.nic.port_state(wr.port)
+            if wr.op is RmaOp.PUT:
+                self.puts_started += 1
+                self._spawn_guarded(self._execute_put(wr, port),
+                                    name=f"{self.nic.name}.put")
+            elif wr.op is RmaOp.GET:
+                self.gets_started += 1
+                self._spawn_guarded(self._execute_get(wr, port),
+                                    name=f"{self.nic.name}.get")
+            else:  # pragma: no cover - decode() already validates
+                raise RmaError(f"unknown op {wr.op}")
+
+    def _execute_put(self, wr: RmaWorkRequest, port: "RmaPort"):
+        src_phys = self.atu.translate(wr.src_nla, wr.size)
+        data = yield from self.dma.read(src_phys, wr.size)
+        yield from self.endpoint.send(Packet(
+            PacketKind.RMA_PUT, self.nic.node_id, wr.dst_node,
+            self.config.packet_header_bytes, data,
+            meta={"dst_nla": wr.dst_nla, "port": wr.port, "flags": wr.flags},
+        ))
+        # "When the transfer has been started, a requester notification is
+        # created signaling the requester is able to receive another WR."
+        if wr.flags & NotifyFlags.REQUESTER:
+            self._notify(port.requester_queue, RmaUnitKind.REQUESTER,
+                         wr.port, wr.size)
+
+    def _execute_get(self, wr: RmaWorkRequest, port: "RmaPort"):
+        # src_nla is remote (read there), dst_nla is local (written here).
+        yield from self.endpoint.send(Packet(
+            PacketKind.RMA_GET_REQUEST, self.nic.node_id, wr.dst_node,
+            self.config.packet_header_bytes,
+            meta={"src_nla": wr.src_nla, "dst_nla": wr.dst_nla,
+                  "size": wr.size, "port": wr.port, "flags": wr.flags,
+                  "origin": self.nic.node_id},
+        ))
+        if wr.flags & NotifyFlags.REQUESTER:
+            self._notify(port.requester_queue, RmaUnitKind.REQUESTER,
+                         wr.port, wr.size)
+
+    # -- completer / responder ---------------------------------------------------------
+    def _receive_loop(self):
+        while True:
+            packet = yield self.endpoint.recv()
+            self.packets_handled += 1
+            yield self.sim.timeout(self.config.completer_time)
+            if packet.kind is PacketKind.RMA_PUT:
+                self._spawn_guarded(self._complete_put(packet),
+                                    name=f"{self.nic.name}.cmpl-put")
+            elif packet.kind is PacketKind.RMA_GET_REQUEST:
+                self._spawn_guarded(self._respond_get(packet),
+                                    name=f"{self.nic.name}.respond")
+            elif packet.kind is PacketKind.RMA_GET_RESPONSE:
+                self._spawn_guarded(self._complete_get(packet),
+                                    name=f"{self.nic.name}.cmpl-get")
+            else:
+                raise RmaError(f"EXTOLL NIC received foreign packet {packet!r}")
+
+    def _complete_put(self, packet: Packet):
+        dst_phys = self.atu.translate(packet.meta["dst_nla"], len(packet.payload))
+        yield from self.dma.write(dst_phys, packet.payload)
+        flags = packet.meta["flags"]
+        if flags & NotifyFlags.COMPLETER:
+            port = self.nic.port_state(packet.meta["port"])
+            self._notify(port.completer_queue, RmaUnitKind.COMPLETER,
+                         packet.meta["port"], len(packet.payload))
+
+    def _respond_get(self, packet: Packet):
+        """Completer reads the data locally and hands it to the responder."""
+        size = packet.meta["size"]
+        src_phys = self.atu.translate(packet.meta["src_nla"], size)
+        data = yield from self.dma.read(src_phys, size)
+        yield self.sim.timeout(self.config.responder_time)
+        yield from self.endpoint.send(Packet(
+            PacketKind.RMA_GET_RESPONSE, self.nic.node_id,
+            packet.meta["origin"], self.config.packet_header_bytes, data,
+            meta=dict(packet.meta),
+        ))
+        if packet.meta["flags"] & NotifyFlags.RESPONDER:
+            port = self.nic.port_state(packet.meta["port"])
+            self._notify(port.responder_queue, RmaUnitKind.RESPONDER,
+                         packet.meta["port"], size)
+
+    def _complete_get(self, packet: Packet):
+        dst_phys = self.atu.translate(packet.meta["dst_nla"], len(packet.payload))
+        yield from self.dma.write(dst_phys, packet.payload)
+        if packet.meta["flags"] & NotifyFlags.COMPLETER:
+            port = self.nic.port_state(packet.meta["port"])
+            self._notify(port.completer_queue, RmaUnitKind.COMPLETER,
+                         packet.meta["port"], len(packet.payload))

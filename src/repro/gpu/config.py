@@ -1,0 +1,74 @@
+"""GPU model parameters, calibrated to the paper's Kepler-era testbed.
+
+The defaults approximate a GK110-class part (the K20/K40 family used with
+GPUDirect RDMA in 2014): 13 SMXs, 32-wide warps, ~0.9 GHz core clock,
+1.5 MiB L2.  Latencies are *visible-to-a-single-thread* latencies, which is
+what matters for the paper's single-thread work-request generation and
+polling loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..memory import CacheConfig
+from ..units import MIB, NS, US
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    name: str = "kepler-gk110"
+    sm_count: int = 13
+    warp_size: int = 32
+    max_blocks_per_sm: int = 16
+    core_clock_hz: float = 0.875e9
+
+    # Memory system (single-thread visible latencies).
+    dram_bytes: int = 192 * MIB
+    l2: CacheConfig = field(default_factory=CacheConfig)
+    l2_hit_latency: float = 250 * NS      # ~220 cycles
+    dram_latency: float = 380 * NS        # L2 miss to device DRAM
+    # Extra front-end cost the GPU adds to any PCIe-bound access (the LSU ->
+    # crossbar -> BAR path), on top of the fabric's own timing.
+    sysmem_issue_overhead: float = 300 * NS
+    # Concurrent uncached sysmem *reads* the GPU keeps in flight (MSHR-style
+    # limit at the PCIe interface).  With many blocks polling host memory the
+    # polls serialize here — the effect that keeps GPU-controlled message
+    # rates below CPU-controlled ones in Fig. 2.
+    sysmem_read_slots: int = 1
+
+    # Kernel machinery.
+    launch_overhead: float = 4.5 * US     # host-API to first instruction
+    block_dispatch_overhead: float = 0.3 * US
+
+    # Instruction issue: seconds per issued instruction for one thread.
+    # A single thread cannot dual-issue and pays full pipeline depth and
+    # memory-op issue stalls; ~8 cycles per dependent instruction is the
+    # effective rate of sequential control code on Kepler.
+    cycles_per_instruction: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.warp_size <= 0 or self.max_blocks_per_sm <= 0:
+            raise ConfigError("GPU geometry must be positive")
+        if self.core_clock_hz <= 0:
+            raise ConfigError("core clock must be positive")
+        if self.dram_bytes <= 0:
+            raise ConfigError("dram_bytes must be positive")
+        for attr in ("l2_hit_latency", "dram_latency", "sysmem_issue_overhead",
+                     "launch_overhead", "block_dispatch_overhead"):
+            if getattr(self, attr) < 0:
+                raise ConfigError(f"{attr} must be non-negative")
+        if self.cycles_per_instruction <= 0:
+            raise ConfigError("cycles_per_instruction must be positive")
+        if self.sysmem_read_slots < 1:
+            raise ConfigError("sysmem_read_slots must be >= 1")
+
+    @property
+    def instruction_time(self) -> float:
+        """Wall time for one issued instruction of a lone thread."""
+        return self.cycles_per_instruction / self.core_clock_hz
+
+    @property
+    def max_resident_blocks(self) -> int:
+        return self.sm_count * self.max_blocks_per_sm

@@ -1,0 +1,70 @@
+"""GPU performance counters — the instrumentation behind Tables I and II.
+
+The counter names mirror the nvprof metrics the paper reports:
+
+* ``sysmem read/write transactions`` — 32 B sectors moved over PCIe for
+  loads/stores that target host memory or MMIO,
+* ``global load/store (64-bit accesses)`` — LSU accesses to device DRAM,
+* ``l2 read/write requests, hits`` — sector traffic at the L2,
+* ``memory accesses (r/w)`` — all LSU operations executed,
+* ``instructions executed``.
+
+Counters are incremented by the executing thread model
+(:mod:`repro.gpu.thread`), never estimated after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class CounterSet:
+    sysmem_read_transactions: int = 0     # 32 B accesses
+    sysmem_write_transactions: int = 0    # 32 B accesses
+    global_load_accesses: int = 0         # 64-bit LSU accesses to device DRAM
+    global_store_accesses: int = 0
+    l2_read_requests: int = 0
+    l2_read_hits: int = 0
+    l2_read_misses: int = 0
+    l2_write_requests: int = 0
+    memory_accesses: int = 0              # all loads+stores executed
+    instructions_executed: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "CounterSet":
+        return CounterSet(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def diff(self, earlier: "CounterSet") -> "CounterSet":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return CounterSet(**{
+            f.name: getattr(self, f.name) - getattr(earlier, f.name)
+            for f in fields(self)
+        })
+
+    def __add__(self, other: "CounterSet") -> "CounterSet":
+        return CounterSet(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def table_rows(self) -> list[tuple[str, int]]:
+        """(metric label, value) rows in the layout of the paper's tables."""
+        return [
+            ("sysmem reads (32B accesses)", self.sysmem_read_transactions),
+            ("sysmem writes (32B accesses)", self.sysmem_write_transactions),
+            ("globmem64 reads (accesses)", self.global_load_accesses),
+            ("globmem64 writes (accesses)", self.global_store_accesses),
+            ("l2 read misses", self.l2_read_misses),
+            ("l2 read hits", self.l2_read_hits),
+            ("l2 read requests", self.l2_read_requests),
+            ("l2 write requests", self.l2_write_requests),
+            ("memory accesses (r/w)", self.memory_accesses),
+            ("instruction executed", self.instructions_executed),
+        ]

@@ -1,0 +1,115 @@
+"""Completion queues and completion-queue entries.
+
+A CQ is a ring of 32-byte big-endian CQEs in a buffer the *user* allocates —
+on host memory or, with the patched drivers of §IV-B, directly in GPU device
+memory.  That relocatability is InfiniBand's advantage over EXTOLL's
+kernel-pinned notification queues (§VI), and it is why ``dev2dev-bufOnGPU``
+polls cheaply.
+
+CQE layout (four big-endian u64 words):
+
+* word 0: wr_id
+* word 1: | valid:1 | opcode:8 | status:8 | qp_num:24 |
+* word 2: | byte_len:32 | immediate:32 |
+* word 3: reserved
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import VerbsError
+from ..memory import AddressRange
+
+CQE_BYTES = 32
+
+
+class WcStatus(enum.IntEnum):
+    SUCCESS = 0
+    LOCAL_PROTECTION_ERROR = 4
+    REMOTE_ACCESS_ERROR = 10
+
+
+class WcOpcode(enum.IntEnum):
+    RDMA_WRITE = 1
+    SEND = 3
+    RDMA_READ = 4
+    RECV = 128
+    RECV_RDMA_WITH_IMM = 129
+
+
+@dataclass(frozen=True)
+class Cqe:
+    wr_id: int
+    opcode: WcOpcode
+    status: WcStatus
+    qp_num: int
+    byte_len: int
+    immediate: int = 0
+
+    def encode(self) -> bytes:
+        word1 = ((1 << 63)
+                 | ((int(self.opcode) & 0xFF) << 40)
+                 | ((int(self.status) & 0xFF) << 32)
+                 | (self.qp_num & 0xFFFFFF))
+        words = [
+            self.wr_id,
+            word1,
+            ((self.byte_len & 0xFFFFFFFF) << 32) | (self.immediate & 0xFFFFFFFF),
+            0,
+        ]
+        return b"".join(w.to_bytes(8, "big") for w in words)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Cqe":
+        if len(raw) != CQE_BYTES:
+            raise VerbsError(f"CQE must be {CQE_BYTES} bytes")
+        words = [int.from_bytes(raw[i:i + 8], "big") for i in range(0, 32, 8)]
+        if not (words[1] >> 63) & 1:
+            raise VerbsError("decoding an invalid CQE slot")
+        return cls(
+            wr_id=words[0],
+            opcode=WcOpcode((words[1] >> 40) & 0xFF),
+            status=WcStatus((words[1] >> 32) & 0xFF),
+            qp_num=words[1] & 0xFFFFFF,
+            byte_len=(words[2] >> 32) & 0xFFFFFFFF,
+            immediate=words[2] & 0xFFFFFFFF,
+        )
+
+    @staticmethod
+    def is_valid_word(word1_be: int) -> bool:
+        """Check the valid bit given word 1 as read (big-endian u64)."""
+        return bool((word1_be >> 63) & 1)
+
+
+class CompletionQueue:
+    """Ring bookkeeping for one CQ.  The buffer itself lives wherever the
+    caller allocated it; the HCA DMA-writes CQEs, software polls and frees."""
+
+    _next_num = 0
+
+    def __init__(self, buffer: AddressRange, entries: int, location: str) -> None:
+        if entries < 2:
+            raise VerbsError("CQ needs at least 2 entries")
+        if buffer.size < entries * CQE_BYTES:
+            raise VerbsError(
+                f"CQ buffer {buffer} too small for {entries} entries")
+        if location not in ("host", "gpu"):
+            raise VerbsError(f"bad CQ location {location!r}")
+        CompletionQueue._next_num += 1
+        self.cq_num = CompletionQueue._next_num
+        self.buffer = buffer
+        self.entries = entries
+        self.location = location
+        self.producer_index = 0   # hardware-private
+
+    def slot_addr(self, index: int) -> int:
+        return self.buffer.base + (index % self.entries) * CQE_BYTES
+
+    def hw_claim_slot(self) -> int:
+        """Producer side; the ring is sized so overrun means the consumer is
+        hopelessly behind — surface it."""
+        addr = self.slot_addr(self.producer_index)
+        self.producer_index += 1
+        return addr

@@ -1,0 +1,115 @@
+"""Address ranges, address spaces, and the per-node physical address map.
+
+Each simulated node has one *physical* address map that routes accesses from
+any agent (CPU, GPU L2 front-end, NIC DMA engine) to a target: a RAM-backed
+:class:`~repro.memory.region.Memory` or an :class:`~repro.memory.mmio.MmioWindow`.
+The conventional layout mirrors a real PCIe system:
+
+* ``0x0000_0000_0000`` — host DRAM
+* ``0x2000_0000_0000`` — GPU device memory (exposed via PCIe BAR1 for
+  GPUDirect RDMA)
+* ``0x4000_0000_0000`` — device MMIO (NIC BARs, doorbells)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import AddressError
+
+
+class MemorySpace(enum.Enum):
+    """Which physical resource a given address resolves to."""
+
+    HOST_DRAM = "host_dram"
+    GPU_DRAM = "gpu_dram"
+    MMIO = "mmio"
+
+
+# Conventional base addresses of the three windows in a node's physical map.
+HOST_DRAM_BASE = 0x0000_0000_0000
+GPU_DRAM_BASE = 0x2000_0000_0000
+MMIO_BASE = 0x4000_0000_0000
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open interval [base, base+size) of physical addresses."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise AddressError(f"negative base address {self.base:#x}")
+        if self.size <= 0:
+            raise AddressError(f"non-positive range size {self.size}")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        return self.base <= addr and addr + length <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def offset_of(self, addr: int) -> int:
+        if not self.contains(addr):
+            raise AddressError(f"{addr:#x} outside {self}")
+        return addr - self.base
+
+    def split(self, chunk: int) -> Iterator["AddressRange"]:
+        """Yield consecutive sub-ranges of at most ``chunk`` bytes."""
+        if chunk <= 0:
+            raise AddressError(f"non-positive chunk {chunk}")
+        addr = self.base
+        while addr < self.end:
+            step = min(chunk, self.end - addr)
+            yield AddressRange(addr, step)
+            addr += step
+
+    def __str__(self) -> str:
+        return f"[{self.base:#x}, {self.end:#x})"
+
+
+class AddressMap:
+    """Routes physical addresses to mapped targets.
+
+    Targets are any object exposing a ``range`` attribute of type
+    :class:`AddressRange` and a ``space`` attribute of type
+    :class:`MemorySpace`.  Lookups reject accesses that straddle a mapping
+    boundary, as real interconnects would.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[AddressRange, object]] = []
+
+    def add(self, target: object) -> None:
+        rng: AddressRange = getattr(target, "range")
+        for existing, _ in self._entries:
+            if existing.overlaps(rng):
+                raise AddressError(f"mapping {rng} overlaps existing {existing}")
+        self._entries.append((rng, target))
+        self._entries.sort(key=lambda e: e[0].base)
+
+    def resolve(self, addr: int, length: int = 1) -> Tuple[object, int]:
+        """Return ``(target, offset_within_target)`` for an access."""
+        for rng, target in self._entries:
+            if rng.contains(addr, length):
+                return target, addr - rng.base
+            if rng.contains(addr) and not rng.contains(addr, length):
+                raise AddressError(
+                    f"access [{addr:#x}, {addr + length:#x}) straddles mapping {rng}"
+                )
+        raise AddressError(f"unmapped physical address {addr:#x} (+{length})")
+
+    def space_of(self, addr: int) -> MemorySpace:
+        target, _ = self.resolve(addr)
+        return getattr(target, "space")
+
+    def targets(self) -> List[object]:
+        return [t for _, t in self._entries]

@@ -1,0 +1,89 @@
+"""Generic page-granular address translation.
+
+Used twice in the library:
+
+* the EXTOLL ATU translates Network Logical Addresses (NLAs) to node-physical
+  addresses (§III-A),
+* the GPU's UVA layer translates unified virtual addresses to node-physical
+  addresses (device memory, host mappings, and the MMIO mappings that the
+  paper's NVIDIA-driver patch enables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import TranslationError
+from .address import AddressRange
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One contiguous translation entry: virtual → physical."""
+
+    virtual: AddressRange
+    physical_base: int
+    writable: bool = True
+    label: str = ""
+
+    def translate(self, vaddr: int, length: int) -> int:
+        if not self.virtual.contains(vaddr, length):
+            raise TranslationError(f"{vaddr:#x}+{length} outside {self.virtual}")
+        return self.physical_base + (vaddr - self.virtual.base)
+
+
+class TranslationTable:
+    """An ordered collection of non-overlapping virtual mappings."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._mappings: list[Mapping] = []
+
+    def map(self, virtual: AddressRange, physical_base: int, *,
+            writable: bool = True, label: str = "") -> Mapping:
+        for m in self._mappings:
+            if m.virtual.overlaps(virtual):
+                raise TranslationError(
+                    f"{self.name}: new mapping {virtual} overlaps {m.virtual}"
+                )
+        mapping = Mapping(virtual, physical_base, writable, label)
+        self._mappings.append(mapping)
+        self._mappings.sort(key=lambda m: m.virtual.base)
+        return mapping
+
+    def unmap(self, virtual: AddressRange) -> None:
+        for i, m in enumerate(self._mappings):
+            if m.virtual == virtual:
+                del self._mappings[i]
+                return
+        raise TranslationError(f"{self.name}: no mapping at {virtual}")
+
+    def lookup(self, vaddr: int, length: int = 1) -> Mapping:
+        for m in self._mappings:
+            if m.virtual.contains(vaddr, length):
+                return m
+            if m.virtual.contains(vaddr) and not m.virtual.contains(vaddr, length):
+                raise TranslationError(
+                    f"{self.name}: access {vaddr:#x}+{length} straddles {m.virtual}"
+                )
+        raise TranslationError(f"{self.name}: translation fault at {vaddr:#x}")
+
+    def translate(self, vaddr: int, length: int = 1, *, write: bool = False) -> int:
+        m = self.lookup(vaddr, length)
+        if write and not m.writable:
+            raise TranslationError(f"{self.name}: write to read-only {m.virtual}")
+        return m.translate(vaddr, length)
+
+    def try_translate(self, vaddr: int, length: int = 1) -> Optional[int]:
+        try:
+            return self.translate(vaddr, length)
+        except TranslationError:
+            return None
+
+    @property
+    def mappings(self) -> list[Mapping]:
+        return list(self._mappings)
+
+    def __len__(self) -> int:
+        return len(self._mappings)

@@ -1,0 +1,14 @@
+"""Network model: packets, in-order links, two-node fabric."""
+
+from .fabric import Endpoint, NetworkFabric
+from .link import NetLink, NetLinkConfig
+from .packet import Packet, PacketKind
+
+__all__ = [
+    "Endpoint",
+    "NetworkFabric",
+    "NetLink",
+    "NetLinkConfig",
+    "Packet",
+    "PacketKind",
+]

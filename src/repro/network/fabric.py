@@ -1,0 +1,74 @@
+"""The two-node network fabric.
+
+Wires NIC endpoints together over :class:`NetLink`s and gives each NIC an
+``endpoint`` handle with ``send``/``recv``.  The paper's testbed is exactly
+two nodes per fabric (two EXTOLL Galibier nodes, two IB FDR nodes), but the
+fabric supports any number of point-to-point links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import NetworkError
+from ..sim import Simulator, Store
+from .link import NetLink, NetLinkConfig
+from .packet import Packet
+
+
+class Endpoint:
+    """One NIC's attachment to a link."""
+
+    def __init__(self, link: NetLink, side: int, node_id: int) -> None:
+        self.link = link
+        self.side = side
+        self.node_id = node_id
+
+    def send(self, packet: Packet):
+        """Process fragment: transmit a packet toward the peer."""
+        return self.link.send(self.side, packet)
+
+    @property
+    def inbox(self) -> Store:
+        return self.link.inbox[self.side]
+
+    def recv(self):
+        """Event: the next packet addressed to this endpoint."""
+        return self.inbox.get()
+
+
+class NetworkFabric:
+    """A collection of point-to-point links keyed by node-id pairs."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._links: Dict[Tuple[int, int], NetLink] = {}
+        self._endpoints: Dict[int, Endpoint] = {}
+
+    def connect(self, node_a: int, node_b: int,
+                config: NetLinkConfig | None = None) -> Tuple[Endpoint, Endpoint]:
+        if node_a == node_b:
+            raise NetworkError("cannot connect a node to itself")
+        key = (min(node_a, node_b), max(node_a, node_b))
+        if key in self._links:
+            raise NetworkError(f"nodes {key} already connected")
+        link = NetLink(self.sim, f"link{node_a}-{node_b}", config)
+        ep_a = Endpoint(link, 0 if node_a < node_b else 1, node_a)
+        ep_b = Endpoint(link, 0 if node_b < node_a else 1, node_b)
+        self._links[key] = link
+        self._endpoints[node_a] = ep_a
+        self._endpoints[node_b] = ep_b
+        return ep_a, ep_b
+
+    def endpoint(self, node_id: int) -> Endpoint:
+        try:
+            return self._endpoints[node_id]
+        except KeyError:
+            raise NetworkError(f"node {node_id} has no endpoint") from None
+
+    def link_between(self, node_a: int, node_b: int) -> NetLink:
+        key = (min(node_a, node_b), max(node_a, node_b))
+        try:
+            return self._links[key]
+        except KeyError:
+            raise NetworkError(f"no link between {node_a} and {node_b}") from None

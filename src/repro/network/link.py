@@ -1,0 +1,74 @@
+"""Point-to-point network links with in-order delivery.
+
+One :class:`NetLink` direction serializes packets at the link bandwidth and
+delivers them, after the propagation latency, into the receiver's inbox
+(:class:`~repro.sim.Store`) in exactly the order they were sent — both
+EXTOLL and InfiniBand RC guarantee in-order delivery, which the paper's
+``pollOnGPU`` / poll-last-element trick depends on (§V-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetworkError
+from ..sim import Resource, Simulator, Store
+from ..units import GB_PER_S, NS
+from .packet import Packet
+
+
+@dataclass(frozen=True)
+class NetLinkConfig:
+    bandwidth: float = 5.0 * GB_PER_S   # bytes/second per direction
+    latency: float = 550 * NS           # wire + switch traversal, one way
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise NetworkError("bad link parameters")
+
+
+class NetLink:
+    """A full-duplex cable between two NICs (endpoints 0 and 1)."""
+
+    def __init__(self, sim: Simulator, name: str = "netlink",
+                 config: NetLinkConfig | None = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.config = config or NetLinkConfig()
+        # Per-direction serializer + receiver inbox.
+        self._tx = [Resource(sim, 1, f"{name}.tx0"), Resource(sim, 1, f"{name}.tx1")]
+        self.inbox = [Store(sim, name=f"{name}.rx0"), Store(sim, name=f"{name}.rx1")]
+        self.packets_sent = [0, 0]
+        self.bytes_sent = [0, 0]
+        # In-order delivery despite concurrent senders: a delivery chain per
+        # direction (each delivery waits on the previous one).
+        self._last_delivery = [None, None]
+
+    def send(self, endpoint: int, packet: Packet):
+        """Process fragment: transmit ``packet`` from ``endpoint``; returns
+        once the last byte has left the NIC (delivery happens later)."""
+        if endpoint not in (0, 1):
+            raise NetworkError(f"bad endpoint {endpoint}")
+        tx = self._tx[endpoint]
+        yield tx.acquire()
+        try:
+            yield self.sim.timeout(packet.wire_bytes / self.config.bandwidth)
+        finally:
+            tx.release()
+        self.packets_sent[endpoint] += 1
+        self.bytes_sent[endpoint] += packet.wire_bytes
+        # Chain delivery so packets arrive strictly in send-completion order.
+        dst_inbox = self.inbox[1 - endpoint]
+        prev = self._last_delivery[endpoint]
+
+        def deliver():
+            yield self.sim.timeout(self.config.latency)
+            if prev is not None and not prev.processed:
+                yield prev
+            yield dst_inbox.put(packet)
+
+        self._last_delivery[endpoint] = self.sim.process(
+            deliver(), name=f"{self.name}.deliver{packet.seq}")
+
+    def serialization_time(self, wire_bytes: int) -> float:
+        return wire_bytes / self.config.bandwidth

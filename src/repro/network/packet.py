@@ -1,0 +1,45 @@
+"""Network packets exchanged between NICs.
+
+A packet carries a functional payload (``data``) plus the metadata the NIC
+pipelines need.  ``wire_bytes`` determines serialization time; each fabric
+defines its own per-packet header overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class PacketKind(enum.Enum):
+    RMA_PUT = "rma_put"               # EXTOLL put: header + payload
+    RMA_GET_REQUEST = "rma_get_req"   # EXTOLL get: header only
+    RMA_GET_RESPONSE = "rma_get_rsp"  # EXTOLL responder payload
+    IB_RDMA_WRITE = "ib_rdma_write"
+    IB_RDMA_READ_REQ = "ib_rdma_read_req"
+    IB_RDMA_READ_RSP = "ib_rdma_read_rsp"
+    IB_SEND = "ib_send"
+    IB_ACK = "ib_ack"
+
+
+_seq = itertools.count()
+
+
+@dataclass
+class Packet:
+    kind: PacketKind
+    src_node: int
+    dst_node: int
+    header_bytes: int
+    payload: bytes = b""
+    meta: dict = field(default_factory=dict)
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.header_bytes + len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Packet {self.kind.value} {self.src_node}->{self.dst_node} "
+                f"{len(self.payload)}B>")

@@ -1,0 +1,84 @@
+"""The PCIe link timing model.
+
+A link is full duplex: each direction is a FIFO pipe with finite bandwidth.
+Sending a TLP costs ``wire_bytes / bandwidth`` of serialization (during which
+the direction is busy — this is where contention between concurrent agents
+appears) plus a fixed propagation/forwarding latency to arrive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..errors import ConfigError
+from ..sim import Event, Resource, Simulator
+from ..units import GB_PER_S, NS
+from .tlp import Tlp
+
+
+@dataclass(frozen=True)
+class PcieLinkConfig:
+    """Timing parameters of one PCIe link (both directions symmetric).
+
+    Defaults approximate a Gen2 x8 link of the paper's era (~4 GB/s raw,
+    ~3.2 GB/s effective after encoding).
+    """
+
+    bandwidth: float = 3.2 * GB_PER_S   # effective bytes/second per direction
+    latency: float = 160 * NS           # one-way: PHY + switch + root complex
+    max_payload: int = 256              # bytes per MEM_WRITE / COMPLETION TLP
+    max_read_request: int = 512         # bytes per MEM_READ request
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise ConfigError("link bandwidth must be positive, latency non-negative")
+        if self.max_payload <= 0 or self.max_read_request <= 0:
+            raise ConfigError("TLP size limits must be positive")
+
+
+class PcieLink:
+    """One direction-pair between a device and the root complex."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 config: PcieLinkConfig | None = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.config = config or PcieLinkConfig()
+        # Independent serializers per direction.
+        self._up = Resource(sim, capacity=1, name=f"{name}.up")     # device -> RC
+        self._down = Resource(sim, capacity=1, name=f"{name}.down") # RC -> device
+        self.tlps_up = 0
+        self.tlps_down = 0
+        self.bytes_up = 0
+        self.bytes_down = 0
+
+    def _send(self, direction: Resource, tlp: Tlp,
+              bandwidth: float) -> Generator[Event, None, None]:
+        """Occupy one direction for the TLP's serialization time, then wait
+        out the propagation latency.  Returns at *delivery* time."""
+        yield direction.acquire()
+        try:
+            yield self.sim.timeout(tlp.wire_bytes / bandwidth)
+        finally:
+            direction.release()
+        if direction is self._up:
+            self.tlps_up += 1
+            self.bytes_up += tlp.length
+        else:
+            self.tlps_down += 1
+            self.bytes_down += tlp.length
+        yield self.sim.timeout(self.config.latency)
+
+    def send_up(self, tlp: Tlp, bandwidth: float | None = None) -> Generator:
+        """Device -> root complex.  ``bandwidth`` overrides the link rate
+        (used to model the peer-to-peer read pathology)."""
+        return self._send(self._up, tlp, bandwidth or self.config.bandwidth)
+
+    def send_down(self, tlp: Tlp, bandwidth: float | None = None) -> Generator:
+        """Root complex -> device."""
+        return self._send(self._down, tlp, bandwidth or self.config.bandwidth)
+
+    def serialization_time(self, payload: int) -> float:
+        """Pure wire time of a payload of this size in one TLP."""
+        return (payload + 24) / self.config.bandwidth

@@ -1,0 +1,230 @@
+"""The root complex: ports, routing, and timed load/store/DMA paths.
+
+Topology per node::
+
+    CPU ──(root port, no link)──┐
+                                ├── root complex ── host DRAM
+    GPU ──(PcieLink)────────────┤
+    NIC ──(PcieLink)────────────┘
+
+* An access whose target lives behind the *root* (host DRAM) crosses only the
+  initiator's link.
+* A peer-to-peer access (NIC ↔ GPU memory, GPU → NIC BAR) crosses the
+  initiator's link *and* the owner's link.
+
+The **P2P read pathology** the paper cites ([14], [15]; visible in Figs. 1b
+and 4b as the bandwidth drop past 1 MiB) is modeled here: when a device reads
+GPU memory as part of a large logical stream, the completion stream runs at a
+degraded bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..errors import PcieError
+from ..memory import AddressMap, MemorySpace, Memory, MmioWindow
+from ..sim import Event, Simulator
+from ..units import GB_PER_S, MIB, NS
+from .link import PcieLink, PcieLinkConfig
+from .tlp import TLP_OVERHEAD_BYTES, Tlp, TlpKind, chunk_payload
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Node-level PCIe timing parameters."""
+
+    host_memory_latency: float = 60 * NS    # DRAM access behind the root
+    gpu_memory_latency: float = 120 * NS    # GPU DRAM behind its BAR1
+    mmio_latency: float = 20 * NS           # device register file
+    # Peer-to-peer read pathology (reads *from* GPU memory by another
+    # device): completion bandwidth degrades progressively once a logical
+    # stream reaches the threshold, down to a floor — matching the measured
+    # behaviour of [14]/[15] that Figs. 1b/4b exhibit past 1 MiB.
+    p2p_read_threshold: int = 1 * MIB
+    p2p_read_floor: float = 0.9 * GB_PER_S
+    p2p_pathology_enabled: bool = True
+
+
+class PciePort:
+    """An initiator/owner attachment point on the fabric."""
+
+    def __init__(self, fabric: "PcieFabric", name: str,
+                 link: Optional[PcieLink]) -> None:
+        self.fabric = fabric
+        self.name = name
+        self.link = link  # None for the root port (CPU / host DRAM side)
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # Generators — run them with `yield from` inside a process.
+    def write(self, addr: int, data: bytes,
+              stream_total: Optional[int] = None) -> Generator[Event, None, None]:
+        yield from self.fabric._write(self, addr, data, stream_total)
+
+    def read(self, addr: int, length: int,
+             stream_total: Optional[int] = None) -> Generator[Event, None, bytes]:
+        data = yield from self.fabric._read(self, addr, length, stream_total)
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PciePort {self.name}>"
+
+
+class PcieFabric:
+    """Routing and timing for one node's PCIe hierarchy."""
+
+    def __init__(self, sim: Simulator, address_map: AddressMap,
+                 config: FabricConfig | None = None) -> None:
+        self.sim = sim
+        self.address_map = address_map
+        self.config = config or FabricConfig()
+        self.ports: Dict[str, PciePort] = {}
+        self._owners: Dict[int, PciePort] = {}  # id(target) -> owning port
+        self.root = PciePort(self, "root", link=None)
+        self.ports["root"] = self.root
+
+    # -- construction -------------------------------------------------------------
+    def attach(self, name: str, link_config: PcieLinkConfig | None = None) -> PciePort:
+        if name in self.ports:
+            raise PcieError(f"duplicate port name {name!r}")
+        port = PciePort(self, name, PcieLink(self.sim, name, link_config))
+        self.ports[name] = port
+        return port
+
+    def claim(self, port: PciePort, target: object) -> None:
+        """Declare that ``target`` (a Memory or MmioWindow already present in
+        the address map) lives behind ``port``."""
+        if port.name not in self.ports:
+            raise PcieError(f"unknown port {port!r}")
+        self._owners[id(target)] = port
+
+    def owner_of(self, target: object) -> PciePort:
+        try:
+            return self._owners[id(target)]
+        except KeyError:
+            raise PcieError(f"no owner declared for {target!r}") from None
+
+    # -- routing helpers -------------------------------------------------------------
+    def _resolve(self, addr: int, length: int) -> Tuple[object, int, PciePort]:
+        target, offset = self.address_map.resolve(addr, length)
+        return target, offset, self.owner_of(target)
+
+    def _target_latency(self, target: object) -> float:
+        space: MemorySpace = getattr(target, "space")
+        if space is MemorySpace.HOST_DRAM:
+            return self.config.host_memory_latency
+        if space is MemorySpace.GPU_DRAM:
+            return self.config.gpu_memory_latency
+        return self.config.mmio_latency
+
+    def _hops(self, src: PciePort, dst: PciePort) -> List[PcieLink]:
+        """Links crossed between two ports (0, 1, or 2)."""
+        if src is dst:
+            return []
+        links = [p.link for p in (src, dst) if p.link is not None]
+        return links
+
+    @staticmethod
+    def _wire_bytes(nbytes: int, max_payload: int) -> int:
+        return nbytes + TLP_OVERHEAD_BYTES * len(chunk_payload(nbytes, max_payload))
+
+    def _effective_read_bw(self, target: object, src: PciePort,
+                           stream_total: Optional[int], base_bw: float) -> float:
+        """Degrade completion bandwidth for large P2P reads of GPU memory."""
+        if not self.config.p2p_pathology_enabled:
+            return base_bw
+        if getattr(target, "space", None) is not MemorySpace.GPU_DRAM:
+            return base_bw
+        if src is self.root or src.link is None:
+            return base_bw  # host-initiated reads are unaffected
+        total = stream_total if stream_total is not None else 0
+        if total >= self.config.p2p_read_threshold:
+            scaled = base_bw * self.config.p2p_read_threshold / (2 * total)
+            return min(base_bw, max(self.config.p2p_read_floor, scaled))
+        return base_bw
+
+    def _stream(self, hops: List[PcieLink], upstream: bool, nbytes: int,
+                bandwidth_cap: Optional[float] = None) -> Generator:
+        """Move a data stream across the path: serialization on each hop at
+        the bottleneck rate (held one hop at a time, store-and-forward at
+        message granularity), plus each hop's propagation latency."""
+        if not hops:
+            return
+        for link in hops:
+            bw = link.config.bandwidth
+            if bandwidth_cap is not None:
+                bw = min(bw, bandwidth_cap)
+            wire = self._wire_bytes(nbytes, link.config.max_payload)
+            tlp = Tlp(TlpKind.MEM_WRITE, 0, nbytes)
+            # Direction bookkeeping: the first hop of an initiator's access is
+            # "up" (toward the RC); the final hop toward a device is "down".
+            send = link.send_up if upstream else link.send_down
+            # Override serialization with the whole-stream wire size.
+            yield from send(Tlp(tlp.kind, tlp.address, wire - TLP_OVERHEAD_BYTES), bw)
+            upstream = not upstream if len(hops) > 1 else upstream
+
+    # -- timed accesses ---------------------------------------------------------------
+    def _write(self, src: PciePort, addr: int, data: bytes,
+               stream_total: Optional[int]) -> Generator:
+        if not data:
+            raise PcieError("zero-length write")
+        target, offset, owner = self._resolve(addr, len(data))
+        hops = self._hops(src, owner)
+        yield from self._stream(hops, upstream=src is not self.root,
+                                nbytes=len(data))
+        yield self.sim.timeout(self._target_latency(target))
+        self._deliver_write(target, offset, data)
+        src.writes_issued += 1
+        src.bytes_written += len(data)
+
+    def _read(self, src: PciePort, addr: int, length: int,
+              stream_total: Optional[int]) -> Generator:
+        if length <= 0:
+            raise PcieError("non-positive read length")
+        target, offset, owner = self._resolve(addr, length)
+        hops = self._hops(src, owner)
+        # Request phase: a header-only TLP per max_read_request chunk.
+        n_requests = len(chunk_payload(length, hops[0].config.max_read_request)) \
+            if hops else 1
+        if hops:
+            req_wire = TLP_OVERHEAD_BYTES * n_requests
+            yield from self._stream(hops, upstream=src is not self.root,
+                                    nbytes=max(req_wire - TLP_OVERHEAD_BYTES, 1))
+        yield self.sim.timeout(self._target_latency(target))
+        data = self._collect_read(target, offset, length)
+        # Completion phase: data streams back, possibly degraded (P2P pathology).
+        bw_cap = self._effective_read_bw(target, src, stream_total,
+                                         hops[0].config.bandwidth if hops else float("inf"))
+        # The completion's first hop is *up* the owner's link when the target
+        # sits behind a device port; otherwise it goes straight down to src.
+        yield from self._stream(list(reversed(hops)),
+                                upstream=owner.link is not None,
+                                nbytes=length,
+                                bandwidth_cap=bw_cap if hops else None)
+        src.reads_issued += 1
+        src.bytes_read += length
+        return data
+
+    # -- functional effects ----------------------------------------------------------
+    @staticmethod
+    def _deliver_write(target: object, offset: int, data: bytes) -> None:
+        if isinstance(target, MmioWindow):
+            target.write(offset, data)
+        elif isinstance(target, Memory):
+            target.store.write(offset, data)
+            for hook in target.write_hooks:
+                hook(offset, len(data))
+        else:  # pragma: no cover - map only holds these two kinds
+            raise PcieError(f"unwritable target {target!r}")
+
+    @staticmethod
+    def _collect_read(target: object, offset: int, length: int) -> bytes:
+        if isinstance(target, MmioWindow):
+            return target.read(offset, length)
+        if isinstance(target, Memory):
+            return target.store.read(offset, length)
+        raise PcieError(f"unreadable target {target!r}")  # pragma: no cover

@@ -1,0 +1,36 @@
+"""Discrete-event simulation engine.
+
+The rest of the library is built on four ideas:
+
+* :class:`Simulator` — the event loop and clock,
+* :class:`Event` / :class:`Timeout` — one-shot occurrences,
+* :class:`Process` — coroutines that ``yield`` events to wait on them,
+* :class:`Resource` / :class:`Mutex` / :class:`Store` — contention and
+  message-passing between processes.
+"""
+
+from .engine import Simulator
+from .event import Event, EventState, Timeout
+from .primitives import AllOf, AnyOf
+from .process import Interrupt, Process, join_result
+from .resource import Mutex, Resource, Store
+from .trace import NULL_TRACER, NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventState",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "join_result",
+    "Mutex",
+    "Resource",
+    "Store",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceRecord",
+]

@@ -1,0 +1,122 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns a time-ordered event heap and advances simulated
+time by processing events in (time, insertion-order) order.  All model state
+changes happen inside event callbacks, which in practice means inside
+coroutine *processes* (:mod:`repro.sim.process`).
+
+Determinism: ties in time are broken by a monotonically increasing sequence
+number, so two runs of the same model produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError
+from .event import Event, Timeout
+
+
+class Simulator:
+    """Event loop for one simulated system.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time in seconds.
+    """
+
+    def __init__(self, trace: Optional[Callable[[float, str], None]] = None) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._trace = trace
+        self._active_processes: int = 0
+
+    # -- time -----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- event construction -----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """A fresh pending event bound to this simulator."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value, name)
+
+    def process(self, generator: Generator, name: str = "") -> "Process":
+        """Spawn a coroutine process (see :mod:`repro.sim.process`)."""
+        from .process import Process  # local import to avoid a cycle
+
+        return Process(self, generator, name)
+
+    # -- scheduling -------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        when = self._now + delay
+        heapq.heappush(self._heap, (when, self._seq, event))
+        self._seq += 1
+
+    # -- running ----------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - guarded by _schedule
+            raise SimulationError("time went backwards")
+        self._now = when
+        if self._trace is not None:
+            self._trace(when, repr(event))
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or simulated time reaches ``until``.
+
+        Raises
+        ------
+        DeadlockError
+            If the schedule drains while processes are still alive and no
+            ``until`` horizon was given (the model is stuck).
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until!r} is in the past (now={self._now!r})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+        elif self._active_processes > 0:
+            raise DeadlockError(
+                f"schedule drained with {self._active_processes} process(es) still waiting"
+            )
+
+    def run_until_complete(self, *events: Event, limit: Optional[float] = None) -> None:
+        """Run until every event in ``events`` has been processed.
+
+        ``limit`` bounds simulated time; exceeding it raises
+        :class:`SimulationError` (useful to catch livelocks in tests).
+        """
+        if not events:
+            raise SimulationError("run_until_complete() needs at least one event")
+        while not all(e.processed for e in events):
+            if not self._heap:
+                raise DeadlockError(
+                    "schedule drained before awaited events completed: "
+                    + ", ".join(repr(e) for e in events if not e.processed)
+                )
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(f"simulated time limit {limit!r}s exceeded")
+            self.step()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now:g} queued={len(self._heap)}>"

@@ -1,0 +1,124 @@
+"""Coroutine processes.
+
+A *process* wraps a Python generator.  The generator ``yield``s
+:class:`~repro.sim.event.Event` instances (or other processes, which are
+themselves events); the process suspends until the yielded event fires and
+then resumes with the event's value (or with the event's exception thrown
+into the generator, so models can use ordinary ``try/except``).
+
+A process is itself an event that succeeds with the generator's return value,
+so processes compose: ``yield other_process`` joins it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, TYPE_CHECKING
+
+from ..errors import SimulationError
+from .event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running coroutine.  Succeeds when the generator returns."""
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__} "
+                "(did you forget a 'yield'?)"
+            )
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        sim._active_processes += 1
+        # Kick off the coroutine via an immediately-scheduled event so that
+        # process start order is deterministic and start happens *inside* the
+        # event loop.
+        start = Event(sim, f"start:{self.name}")
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return self.pending
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Only valid while the process is suspended on an event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            # Detach from what we were waiting on; the event may still fire
+            # later but we will ignore it.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._waiting_on = None
+        wake = Event(self.sim, f"interrupt:{self.name}")
+        wake.callbacks.append(self._resume)
+        wake.fail(Interrupt(cause))
+
+    # -- engine plumbing ------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        try:
+            if trigger.ok:
+                nxt = self._generator.send(trigger.value)
+            else:
+                nxt = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.sim._active_processes -= 1
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process cleanly.
+            self.sim._active_processes -= 1
+            self.succeed(None)
+            return
+        except Exception as exc:
+            # Propagate through the event so joiners see it; if nobody joins,
+            # join_result() or the event's value still surfaces it.
+            self.sim._active_processes -= 1
+            self.fail(exc)
+            return
+        if not isinstance(nxt, Event):
+            self.sim._active_processes -= 1
+            err = SimulationError(
+                f"process {self.name!r} yielded {nxt!r}; processes may only "
+                "yield Event instances"
+            )
+            self.fail(err)
+            return
+        if nxt.sim is not self.sim:
+            self.sim._active_processes -= 1
+            self.fail(SimulationError("yielded an event from a different simulator"))
+            return
+        self._waiting_on = nxt
+        nxt.add_callback(self._resume)
+
+
+def join_result(process: Process) -> Any:
+    """Return the process result after the simulation has run, re-raising
+    its failure exception if it crashed."""
+    if not process.processed and process.pending:
+        raise SimulationError(f"{process!r} has not finished")
+    if not process.ok:
+        raise process.value
+    return process.value

@@ -1,0 +1,71 @@
+"""Lightweight tracing: record (time, category, message) tuples.
+
+Models call ``tracer.emit(...)`` at interesting points; tests and examples
+can assert on, or pretty-print, what happened and when.  Tracing is off by
+default (a ``NullTracer``) so the hot paths pay one attribute check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    category: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time * 1e6:12.3f}us] {self.category:<12} {self.message}"
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by category."""
+
+    enabled = True
+
+    def __init__(self, sim: "Simulator",
+                 categories: Optional[Iterable[str]] = None,
+                 sink: Optional[Callable[[TraceRecord], None]] = None) -> None:
+        self.sim = sim
+        self.categories = set(categories) if categories is not None else None
+        self.records: List[TraceRecord] = []
+        self._sink = sink
+
+    def emit(self, category: str, message: str) -> None:
+        if self.categories is not None and category not in self.categories:
+            return
+        rec = TraceRecord(self.sim.now, category, message)
+        self.records.append(rec)
+        if self._sink is not None:
+            self._sink(rec)
+
+    def filter(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class NullTracer:
+    """A tracer that drops everything (the default)."""
+
+    enabled = False
+    records: List[TraceRecord] = []
+
+    def emit(self, category: str, message: str) -> None:
+        pass
+
+    def filter(self, category: str) -> List[TraceRecord]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,55 @@
+"""Shared fixtures/helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import (
+    HOST_DRAM_BASE,
+    MMIO_BASE,
+    AddressMap,
+    Memory,
+    MemorySpace,
+    MmioWindow,
+)
+from repro.gpu import Gpu, GpuConfig
+from repro.pcie import PcieFabric
+from repro.sim import Simulator, join_result
+from repro.units import KIB, MIB
+
+
+class MiniNode:
+    """A single node with host memory, one GPU, and a scratch MMIO window —
+    enough substrate for GPU/CPU unit tests without the full cluster."""
+
+    def __init__(self, gpu_config: GpuConfig | None = None):
+        self.sim = Simulator()
+        self.amap = AddressMap()
+        self.host = Memory("host", HOST_DRAM_BASE, 16 * MIB, MemorySpace.HOST_DRAM)
+        self.amap.add(self.host)
+        self.mmio = MmioWindow("dev-bar", MMIO_BASE, 64 * KIB)
+        self.amap.add(self.mmio)
+        self.fabric = PcieFabric(self.sim, self.amap)
+        self.fabric.claim(self.fabric.root, self.host)
+        gpu_cfg = gpu_config or GpuConfig(dram_bytes=16 * MIB)
+        self.gpu = Gpu(self.sim, "gpu0", gpu_cfg)
+        gpu_port = self.fabric.attach("gpu0")
+        self.gpu.attach_port(gpu_port)
+        nic_port = self.fabric.attach("nic0")
+        self.fabric.claim(nic_port, self.mmio)
+        self.nic_port = nic_port
+
+    def run(self, gen=None, until=None):
+        """Run the simulation; if ``gen`` given, run it as a process and
+        return its result."""
+        if gen is None:
+            self.sim.run(until=until)
+            return None
+        proc = self.sim.process(gen)
+        self.sim.run(until=until)
+        return join_result(proc)
+
+
+@pytest.fixture
+def node():
+    return MiniNode()

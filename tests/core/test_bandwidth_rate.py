@@ -1,0 +1,129 @@
+"""Integration tests for bandwidth and message-rate programs."""
+
+import pytest
+
+from repro import build_extoll_cluster, build_ib_cluster
+from repro.core import (
+    ExtollMode,
+    IbMode,
+    RateMethod,
+    default_message_count,
+    run_extoll_bandwidth,
+    run_extoll_message_rate,
+    run_ib_bandwidth,
+    run_ib_message_rate,
+    setup_extoll_connection,
+    setup_extoll_connections,
+    setup_ib_connection,
+    setup_ib_connections,
+)
+from repro.errors import BenchmarkError
+from repro.units import KIB, MIB
+
+
+def test_extoll_bandwidth_all_modes_positive():
+    for mode in (ExtollMode.DIRECT, ExtollMode.ASSISTED,
+                 ExtollMode.HOST_CONTROLLED):
+        cluster = build_extoll_cluster()
+        conn = setup_extoll_connection(cluster, 64 * KIB)
+        p = run_extoll_bandwidth(cluster, conn, mode, 16 * KIB, count=8)
+        assert p.mb_per_s > 10
+
+
+def test_extoll_bandwidth_rejects_pollongpu():
+    """'this is only applicable for the ping-pong test' (§V-A1)."""
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 4 * KIB)
+    with pytest.raises(BenchmarkError):
+        run_extoll_bandwidth(cluster, conn, ExtollMode.POLL_ON_GPU, 1 * KIB)
+
+
+def test_ib_bandwidth_all_modes_positive():
+    for mode, loc in [(IbMode.BUF_ON_GPU, "gpu"), (IbMode.BUF_ON_HOST, "host"),
+                      (IbMode.ASSISTED, "host"),
+                      (IbMode.HOST_CONTROLLED, "host")]:
+        cluster = build_ib_cluster()
+        conn = setup_ib_connection(cluster, 64 * KIB, buffer_location=loc)
+        p = run_ib_bandwidth(cluster, conn, mode, 16 * KIB, count=8)
+        assert p.mb_per_s > 10
+
+
+def test_bandwidth_increases_with_size_then_saturates():
+    values = []
+    for size in (1 * KIB, 64 * KIB, 512 * KIB):
+        cluster = build_extoll_cluster()
+        conn = setup_extoll_connection(cluster, 512 * KIB)
+        values.append(run_extoll_bandwidth(
+            cluster, conn, ExtollMode.HOST_CONTROLLED, size, count=8).mb_per_s)
+    assert values[0] < values[1] <= values[2] * 1.05
+    assert values[2] < 1000  # bounded by the FPGA link
+
+
+def test_bandwidth_p2p_drop_beyond_1mib():
+    small = None
+    big = None
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 4 * MIB)
+    small = run_extoll_bandwidth(cluster, conn, ExtollMode.HOST_CONTROLLED,
+                                 256 * KIB, count=8).mb_per_s
+    cluster2 = build_extoll_cluster()
+    conn2 = setup_extoll_connection(cluster2, 4 * MIB)
+    big = run_extoll_bandwidth(cluster2, conn2, ExtollMode.HOST_CONTROLLED,
+                               4 * MIB, count=4).mb_per_s
+    assert big < small * 0.85
+
+
+def test_default_message_count_bounds():
+    assert default_message_count(1) == 48
+    assert default_message_count(8 * MIB) == 8
+    assert 8 <= default_message_count(1 * MIB) <= 48
+
+
+@pytest.mark.parametrize("method", list(RateMethod))
+def test_extoll_message_rate_all_methods(method):
+    cluster = build_extoll_cluster()
+    conns = setup_extoll_connections(cluster, 4 * KIB, 2)
+    p = run_extoll_message_rate(cluster, conns, method, per_connection=20)
+    assert p.messages == 40
+    assert p.messages_per_s > 1e4
+
+
+@pytest.mark.parametrize("method", list(RateMethod))
+def test_ib_message_rate_all_methods(method):
+    loc = "gpu" if method in (RateMethod.BLOCKS, RateMethod.KERNELS) else "host"
+    cluster = build_ib_cluster()
+    conns = setup_ib_connections(cluster, 4 * KIB, 2, buffer_location=loc)
+    p = run_ib_message_rate(cluster, conns, method, per_connection=20)
+    assert p.messages == 40
+    assert p.messages_per_s > 1e4
+
+
+def test_message_rate_blocks_equals_kernels():
+    rates = {}
+    for method in (RateMethod.BLOCKS, RateMethod.KERNELS):
+        cluster = build_extoll_cluster()
+        conns = setup_extoll_connections(cluster, 4 * KIB, 4)
+        rates[method] = run_extoll_message_rate(
+            cluster, conns, method, per_connection=30).messages_per_s
+    a, b = rates[RateMethod.BLOCKS], rates[RateMethod.KERNELS]
+    assert abs(a - b) / a < 0.15
+
+
+def test_message_rate_scales_with_connections():
+    rates = []
+    for n in (1, 4):
+        cluster = build_extoll_cluster()
+        conns = setup_extoll_connections(cluster, 4 * KIB, n)
+        rates.append(run_extoll_message_rate(
+            cluster, conns, RateMethod.BLOCKS, per_connection=30).messages_per_s)
+    assert rates[1] > 2 * rates[0]
+
+
+def test_message_rate_rejects_empty_inputs():
+    cluster = build_extoll_cluster()
+    conns = setup_extoll_connections(cluster, 4 * KIB, 1)
+    with pytest.raises(BenchmarkError):
+        run_extoll_message_rate(cluster, [], RateMethod.BLOCKS)
+    with pytest.raises(BenchmarkError):
+        run_extoll_message_rate(cluster, conns, RateMethod.BLOCKS,
+                                per_connection=0)

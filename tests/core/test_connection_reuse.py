@@ -1,0 +1,94 @@
+"""Connections must be reusable across measurements (like long-lived ports
+and QPs in the real libraries)."""
+
+import pytest
+
+from repro import build_extoll_cluster, build_ib_cluster
+from repro.core import (
+    ExtollMode,
+    IbMode,
+    RateMethod,
+    run_extoll_bandwidth,
+    run_extoll_message_rate,
+    run_extoll_pingpong,
+    run_ib_bandwidth,
+    run_ib_pingpong,
+    setup_extoll_connection,
+    setup_extoll_connections,
+    setup_ib_connection,
+)
+from repro.units import KIB
+
+
+@pytest.mark.parametrize("mode", list(ExtollMode))
+def test_extoll_pingpong_reuse_same_connection(mode):
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 4 * KIB)
+    first = run_extoll_pingpong(cluster, conn, mode, 256, iterations=4, warmup=1)
+    second = run_extoll_pingpong(cluster, conn, mode, 256, iterations=4, warmup=1)
+    assert first.latency > 0
+    assert second.latency > 0
+    # Same configuration, same connection: latencies agree closely.
+    assert abs(second.latency - first.latency) / first.latency < 0.3
+
+
+@pytest.mark.parametrize("mode,loc", [(IbMode.BUF_ON_GPU, "gpu"),
+                                      (IbMode.HOST_CONTROLLED, "host")])
+def test_ib_pingpong_reuse_same_connection(mode, loc):
+    cluster = build_ib_cluster()
+    conn = setup_ib_connection(cluster, 4 * KIB, buffer_location=loc)
+    first = run_ib_pingpong(cluster, conn, mode, 256, iterations=4, warmup=1)
+    second = run_ib_pingpong(cluster, conn, mode, 256, iterations=4, warmup=1)
+    assert second.latency > 0
+    assert abs(second.latency - first.latency) / first.latency < 0.3
+
+
+def test_size_sweep_on_one_connection():
+    """The natural benchmarking pattern: one connection, many sizes."""
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 64 * KIB)
+    lats = []
+    for size in (64, 1 * KIB, 16 * KIB, 64 * KIB):
+        p = run_extoll_pingpong(cluster, conn, ExtollMode.POLL_ON_GPU, size,
+                                iterations=4, warmup=1)
+        lats.append(p.latency)
+    assert lats == sorted(lats)  # monotone in size
+
+
+def test_mixed_modes_on_one_connection():
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 4 * KIB)
+    host = run_extoll_pingpong(cluster, conn, ExtollMode.HOST_CONTROLLED, 64,
+                               iterations=4, warmup=1)
+    direct = run_extoll_pingpong(cluster, conn, ExtollMode.DIRECT, 64,
+                                 iterations=4, warmup=1)
+    assert direct.latency > host.latency
+
+
+def test_bandwidth_then_pingpong_reuse():
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 16 * KIB)
+    bw = run_extoll_bandwidth(cluster, conn, ExtollMode.HOST_CONTROLLED,
+                              4 * KIB, count=6)
+    pp = run_extoll_pingpong(cluster, conn, ExtollMode.HOST_CONTROLLED, 4 * KIB,
+                             iterations=4, warmup=1)
+    assert bw.mb_per_s > 0
+    assert pp.latency > 0
+
+
+def test_ib_bandwidth_reuse():
+    cluster = build_ib_cluster()
+    conn = setup_ib_connection(cluster, 16 * KIB, buffer_location="host")
+    b1 = run_ib_bandwidth(cluster, conn, IbMode.HOST_CONTROLLED, 4 * KIB, count=6)
+    b2 = run_ib_bandwidth(cluster, conn, IbMode.HOST_CONTROLLED, 4 * KIB, count=6)
+    assert abs(b2.mb_per_s - b1.mb_per_s) / b1.mb_per_s < 0.2
+
+
+def test_message_rate_reuse():
+    cluster = build_extoll_cluster()
+    conns = setup_extoll_connections(cluster, 4 * KIB, 2)
+    r1 = run_extoll_message_rate(cluster, conns, RateMethod.BLOCKS,
+                                 per_connection=15)
+    r2 = run_extoll_message_rate(cluster, conns, RateMethod.BLOCKS,
+                                 per_connection=15)
+    assert abs(r2.messages_per_s - r1.messages_per_s) / r1.messages_per_s < 0.25

@@ -1,0 +1,60 @@
+"""Integration tests for the Table I/II counter programs (small runs)."""
+
+import pytest
+
+from repro.core import (
+    measure_extoll_polling_counters,
+    measure_ib_buffer_counters,
+    measure_single_op_instructions,
+)
+
+ITER = 20
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return measure_extoll_polling_counters(iterations=ITER)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return measure_ib_buffer_counters(iterations=ITER)
+
+
+def test_table1_labels(table1):
+    sysmem, devmem = table1
+    assert sysmem.label == "system memory"
+    assert devmem.label == "device memory"
+    assert sysmem.iterations == devmem.iterations == ITER
+
+
+def test_table1_sysmem_vs_devmem_structure(table1):
+    sysmem, devmem = table1
+    assert devmem.counters.sysmem_read_transactions == 0
+    assert devmem.counters.sysmem_write_transactions == 3 * ITER
+    assert sysmem.counters.sysmem_read_transactions > 0
+    assert sysmem.counters.l2_read_requests == 0
+    assert devmem.counters.l2_read_hits > 0
+
+
+def test_table1_instruction_ratio(table1):
+    sysmem, devmem = table1
+    ratio = (sysmem.counters.instructions_executed
+             / devmem.counters.instructions_executed)
+    assert ratio > 1.3
+
+
+def test_table2_structure(table2):
+    on_host, on_gpu = table2
+    assert on_host.label == "Buffer on Host"
+    assert (on_host.counters.sysmem_read_transactions
+            > on_gpu.counters.sysmem_read_transactions)
+    for r in table2:
+        assert r.counters.instructions_executed > 300 * ITER
+
+
+def test_single_op_instruction_costs():
+    ops = measure_single_op_instructions()
+    assert ops["ibv_post_send"] == 442
+    assert ops["ibv_poll_cq"] == 283
+    assert ops["extoll_post"] < 100

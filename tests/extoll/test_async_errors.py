@@ -1,0 +1,78 @@
+"""Error containment in the RMA unit: bad descriptors surface as async
+errors instead of killing the hardware pipelines."""
+
+import pytest
+
+from repro.cluster import build_extoll_cluster
+from repro.core import setup_extoll_connection
+from repro.errors import TranslationError
+from repro.extoll import NotificationCursor, NotifyFlags, RmaOp, RmaWorkRequest, \
+    rma_post, rma_wait_notification
+from repro.sim import join_result
+from repro.units import KIB, US
+
+
+def test_put_with_unregistered_nla_records_async_error():
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 4 * KIB)
+
+    def sender(ctx):
+        wr = RmaWorkRequest(op=RmaOp.PUT, port=conn.a.port.port_id, dst_node=1,
+                            src_nla=0x6000_DEAD_0000,  # never registered
+                            dst_nla=conn.b.recv_nla.base, size=64,
+                            flags=NotifyFlags.NONE)
+        yield from rma_post(ctx, conn.a.port.page_addr, wr)
+
+    proc = conn.a.node.cpu.spawn(sender)
+    cluster.sim.run_until_complete(proc, limit=1.0)
+    cluster.sim.run(until=cluster.sim.now + 100 * US)
+    assert len(conn.a.node.nic.rma.async_errors) == 1
+    assert isinstance(conn.a.node.nic.rma.async_errors[0], TranslationError)
+
+
+def test_put_to_unregistered_remote_nla_errors_at_completer():
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 4 * KIB)
+
+    def sender(ctx):
+        wr = RmaWorkRequest(op=RmaOp.PUT, port=conn.a.port.port_id, dst_node=1,
+                            src_nla=conn.a.send_nla.base,
+                            dst_nla=0x6000_BEEF_0000, size=64,
+                            flags=NotifyFlags.NONE)
+        yield from rma_post(ctx, conn.a.port.page_addr, wr)
+
+    proc = conn.a.node.cpu.spawn(sender)
+    cluster.sim.run_until_complete(proc, limit=1.0)
+    cluster.sim.run(until=cluster.sim.now + 200 * US)
+    assert len(conn.b.node.nic.rma.async_errors) == 1
+    assert isinstance(conn.b.node.nic.rma.async_errors[0], TranslationError)
+    # The origin side is clean — the fault is at the destination's ATU.
+    assert conn.a.node.nic.rma.async_errors == []
+
+
+def test_unit_survives_bad_descriptor_and_keeps_working():
+    """After a faulting put, a good put on the same port still completes."""
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 4 * KIB)
+    conn.a.node.gpu.dram.write(conn.a.send_buf.base, b"OK" * 32)
+
+    def sender(ctx):
+        bad = RmaWorkRequest(op=RmaOp.PUT, port=conn.a.port.port_id, dst_node=1,
+                             src_nla=0x6000_DEAD_0000,
+                             dst_nla=conn.b.recv_nla.base, size=64,
+                             flags=NotifyFlags.NONE)
+        yield from rma_post(ctx, conn.a.port.page_addr, bad)
+        yield from ctx.sleep(20 * US)
+        good = RmaWorkRequest(op=RmaOp.PUT, port=conn.a.port.port_id,
+                              dst_node=1, src_nla=conn.a.send_nla.base,
+                              dst_nla=conn.b.recv_nla.base, size=64,
+                              flags=NotifyFlags.REQUESTER)
+        yield from rma_post(ctx, conn.a.port.page_addr, good)
+        yield from rma_wait_notification(ctx, conn.a.requester_cursor())
+
+    proc = conn.a.node.cpu.spawn(sender)
+    cluster.sim.run_until_complete(proc, limit=1.0)
+    join_result(proc)
+    cluster.sim.run(until=cluster.sim.now + 200 * US)
+    assert len(conn.a.node.nic.rma.async_errors) == 1
+    assert conn.b.node.gpu.dram.read(conn.b.recv_buf.base, 64) == b"OK" * 32

@@ -1,0 +1,155 @@
+"""Unit + property tests for EXTOLL wire formats and queue mechanics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NotificationOverflowError, RmaError
+from repro.extoll import (
+    Notification,
+    NotificationQueue,
+    NotifyFlags,
+    RmaOp,
+    RmaUnitKind,
+    RmaWorkRequest,
+    WR_BYTES,
+)
+from repro.memory import Memory, MemorySpace
+
+
+def wr(**kw):
+    defaults = dict(op=RmaOp.PUT, port=3, dst_node=1, src_nla=0x6000_0000_1000,
+                    dst_nla=0x6000_0000_2000, size=4096)
+    defaults.update(kw)
+    return RmaWorkRequest(**defaults)
+
+
+def test_wr_encode_is_192_bits():
+    assert len(wr().encode()) == WR_BYTES == 24
+
+
+def test_wr_roundtrip():
+    original = wr(op=RmaOp.GET, port=17, dst_node=0, size=12345,
+                  flags=NotifyFlags.REQUESTER)
+    assert RmaWorkRequest.decode(original.encode()) == original
+
+
+def test_wr_words_match_encoding():
+    w = wr()
+    w0, w1, w2 = w.words()
+    assert w1 == w.src_nla
+    assert w2 == w.dst_nla
+    raw = (w0.to_bytes(8, "little") + w1.to_bytes(8, "little")
+           + w2.to_bytes(8, "little"))
+    assert RmaWorkRequest.decode(raw) == w
+
+
+def test_wr_validation():
+    with pytest.raises(RmaError):
+        wr(size=0)
+    with pytest.raises(RmaError):
+        wr(size=1 << 40)
+    with pytest.raises(RmaError):
+        wr(port=256)
+    with pytest.raises(RmaError):
+        wr(dst_node=-1)
+
+
+def test_wr_bad_opcode_rejected():
+    raw = bytearray(wr().encode())
+    raw[0] = (raw[0] & 0xF0) | 0xF  # opcode 15 does not exist
+    with pytest.raises(RmaError):
+        RmaWorkRequest.decode(bytes(raw))
+
+
+def test_wr_wrong_length_rejected():
+    with pytest.raises(RmaError):
+        RmaWorkRequest.decode(b"\x00" * 23)
+
+
+@given(
+    op=st.sampled_from(list(RmaOp)),
+    port=st.integers(0, 255),
+    dst_node=st.integers(0, 255),
+    src=st.integers(0, 2**63),
+    dst=st.integers(0, 2**63),
+    size=st.integers(1, (1 << 36) - 1),
+    flags=st.integers(0, 7),
+)
+def test_property_wr_roundtrip(op, port, dst_node, src, dst, size, flags):
+    w = RmaWorkRequest(op=op, port=port, dst_node=dst_node, src_nla=src,
+                       dst_nla=dst, size=size, flags=NotifyFlags(flags))
+    assert RmaWorkRequest.decode(w.encode()) == w
+
+
+def test_notification_roundtrip():
+    n = Notification(RmaUnitKind.COMPLETER, port=5, size=64, seq=42)
+    assert Notification.decode(n.encode()) == n
+    assert Notification.is_valid_word(int.from_bytes(n.encode()[:8], "little"))
+
+
+def test_freed_notification_not_valid():
+    assert not Notification.is_valid_word(0)
+    with pytest.raises(RmaError):
+        Notification.decode(b"\x00" * 16)
+
+
+@given(
+    unit=st.sampled_from(list(RmaUnitKind)),
+    port=st.integers(0, 255),
+    size=st.integers(0, (1 << 36) - 1),
+    seq=st.integers(0, 2**63),
+)
+def test_property_notification_roundtrip(unit, port, size, seq):
+    n = Notification(unit, port, size, seq)
+    assert Notification.decode(n.encode()) == n
+
+
+# --- NotificationQueue -------------------------------------------------------
+
+def make_queue(entries=4):
+    mem = Memory("kern", 0, 4096, MemorySpace.HOST_DRAM)
+    return NotificationQueue("q", mem, 0, entries), mem
+
+
+def test_queue_claim_advances_slots():
+    q, mem = make_queue(entries=4)
+    addrs = [q.hw_claim_slot() for _ in range(4)]
+    assert addrs == [0, 16, 32, 48]
+
+
+def test_queue_wraps():
+    q, mem = make_queue(entries=4)
+    for _ in range(4):
+        q.hw_claim_slot()
+    # Software consumed everything: publish read pointer 4.
+    mem.write_u32(q.read_ptr_addr, 4)
+    assert q.hw_claim_slot() == 0  # wrapped to slot 0
+
+
+def test_queue_overflow_raises():
+    q, mem = make_queue(entries=4)
+    for _ in range(4):
+        q.hw_claim_slot()
+    with pytest.raises(NotificationOverflowError):
+        q.hw_claim_slot()  # read pointer still 0 in memory
+
+
+def test_queue_refreshes_read_ptr_before_overflow():
+    q, mem = make_queue(entries=4)
+    for _ in range(4):
+        q.hw_claim_slot()
+    mem.write_u32(q.read_ptr_addr, 2)  # software consumed two entries
+    assert q.hw_claim_slot() == 0
+    assert q.hw_claim_slot() == 16
+    with pytest.raises(NotificationOverflowError):
+        q.hw_claim_slot()
+
+
+def test_queue_footprint():
+    assert NotificationQueue.footprint_bytes(256) == 256 * 16 + 4
+
+
+def test_queue_too_small_rejected():
+    mem = Memory("kern", 0, 4096, MemorySpace.HOST_DRAM)
+    with pytest.raises(RmaError):
+        NotificationQueue("q", mem, 0, 1)

@@ -1,0 +1,135 @@
+"""Property-based end-to-end tests: the RMA fabric preserves data under
+random workloads."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import build_extoll_cluster
+from repro.core import setup_extoll_connection
+from repro.extoll import NotificationCursor, NotifyFlags, RmaOp, RmaWorkRequest, \
+    rma_post, rma_wait_notification
+from repro.sim import join_result
+from repro.units import KIB
+
+BUF = 8 * KIB
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    chunks=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=512),     # size
+            st.integers(min_value=0, max_value=BUF - 512),  # dst offset
+            st.binary(min_size=1, max_size=8),              # pattern seed
+        ),
+        min_size=1, max_size=6,
+    )
+)
+def test_property_random_puts_preserve_data(chunks):
+    """Any sequence of puts at random offsets leaves the destination buffer
+    equal to a reference model."""
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, BUF)
+    reference = bytearray(BUF)
+
+    payloads = []
+    for size, dst_off, seed in chunks:
+        pattern = (seed * (size // len(seed) + 1))[:size]
+        payloads.append((size, dst_off, pattern))
+
+    def sender(ctx):
+        cursor = conn.a.requester_cursor()
+        for i, (size, dst_off, pattern) in enumerate(payloads):
+            src_off = 0
+            conn.a.node.gpu.dram.write(conn.a.send_buf.base + src_off, pattern)
+            wr = RmaWorkRequest(
+                op=RmaOp.PUT, port=conn.a.port.port_id, dst_node=1,
+                src_nla=conn.a.send_nla.base + src_off,
+                dst_nla=conn.b.recv_nla.base + dst_off,
+                size=size, flags=NotifyFlags.REQUESTER)
+            yield from rma_post(ctx, conn.a.port.page_addr, wr)
+            yield from rma_wait_notification(ctx, cursor)
+
+    proc = conn.a.node.cpu.spawn(sender)
+    cluster.sim.run_until_complete(proc, limit=10.0)
+    join_result(proc)
+    cluster.sim.run(until=cluster.sim.now + 2e-3)  # drain deliveries
+
+    for size, dst_off, pattern in payloads:
+        reference[dst_off:dst_off + size] = pattern
+    got = conn.b.node.gpu.dram.read(conn.b.recv_buf.base, BUF)
+    assert got == bytes(reference)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sizes=st.lists(st.integers(min_value=1, max_value=2 * KIB),
+                      min_size=1, max_size=8))
+def test_property_notification_count_matches_puts(sizes):
+    """Exactly one requester and one completer notification per put."""
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 4 * KIB)
+
+    def sender(ctx):
+        req = conn.a.requester_cursor()
+        for size in sizes:
+            wr = RmaWorkRequest(
+                op=RmaOp.PUT, port=conn.a.port.port_id, dst_node=1,
+                src_nla=conn.a.send_nla.base, dst_nla=conn.b.recv_nla.base,
+                size=size,
+                flags=NotifyFlags.REQUESTER | NotifyFlags.COMPLETER)
+            yield from rma_post(ctx, conn.a.port.page_addr, wr)
+            yield from rma_wait_notification(ctx, req)
+
+    def receiver(ctx):
+        cmpl = conn.b.completer_cursor()
+        received = []
+        for _ in sizes:
+            note = yield from rma_wait_notification(ctx, cmpl)
+            received.append(note.size)
+        return received
+
+    sp = conn.a.node.cpu.spawn(sender)
+    rp = conn.b.node.cpu.spawn(receiver)
+    cluster.sim.run_until_complete(sp, rp, limit=10.0)
+    received = join_result(rp)
+    assert received == sizes  # in order, one per put, correct sizes
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    put_first=st.booleans(),
+    size=st.integers(min_value=8, max_value=1 * KIB),
+)
+def test_property_put_then_get_roundtrip(put_first, size):
+    """put(x) to the peer followed by get of the same region returns x."""
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, 4 * KIB)
+    pattern = bytes((i * 7 + 3) % 256 for i in range(size))
+    conn.a.node.gpu.dram.write(conn.a.send_buf.base, pattern)
+
+    def worker(ctx):
+        req = conn.a.requester_cursor()
+        cmpl = conn.a.completer_cursor()
+        put = RmaWorkRequest(
+            op=RmaOp.PUT, port=conn.a.port.port_id, dst_node=1,
+            src_nla=conn.a.send_nla.base, dst_nla=conn.b.recv_nla.base,
+            size=size, flags=NotifyFlags.REQUESTER)
+        yield from rma_post(ctx, conn.a.port.page_addr, put)
+        yield from rma_wait_notification(ctx, req)
+        # Pull the data back into our own receive buffer.
+        get = RmaWorkRequest(
+            op=RmaOp.GET, port=conn.a.port.port_id, dst_node=1,
+            src_nla=conn.b.recv_nla.base, dst_nla=conn.a.recv_nla.base,
+            size=size,
+            flags=NotifyFlags.REQUESTER | NotifyFlags.COMPLETER)
+        yield from rma_post(ctx, conn.a.port.page_addr, get)
+        yield from rma_wait_notification(ctx, req)
+        yield from rma_wait_notification(ctx, cmpl)
+
+    proc = conn.a.node.cpu.spawn(worker)
+    cluster.sim.run_until_complete(proc, limit=10.0)
+    join_result(proc)
+    assert conn.a.node.gpu.dram.read(conn.a.recv_buf.base, size) == pattern

@@ -1,0 +1,110 @@
+"""Property-based end-to-end tests for the InfiniBand substrate."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import build_ib_cluster
+from repro.core import setup_ib_connection
+from repro.ib import CqConsumer, IbOpcode, Wqe, ibv_post_send, ibv_wait_cq
+from repro.sim import join_result
+from repro.units import KIB
+
+BUF = 8 * KIB
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=512),        # size
+            st.integers(min_value=0, max_value=BUF - 512),  # dst offset
+            st.binary(min_size=1, max_size=8),              # pattern seed
+        ),
+        min_size=1, max_size=5,
+    )
+)
+def test_property_random_rdma_writes_preserve_data(writes):
+    cluster = build_ib_cluster()
+    conn = setup_ib_connection(cluster, BUF, buffer_location="host")
+    reference = bytearray(BUF)
+    payloads = [(size, off, (seed * (size // len(seed) + 1))[:size])
+                for size, off, seed in writes]
+
+    def sender(ctx):
+        consumer = conn.a.host_send_cq_consumer()
+        for i, (size, dst_off, pattern) in enumerate(payloads):
+            conn.a.node.gpu.dram.write(conn.a.send_buf.base, pattern)
+            wqe = Wqe(opcode=IbOpcode.RDMA_WRITE, wr_id=i,
+                      local_addr=conn.a.send_buf.base, lkey=conn.a.lkey,
+                      length=size,
+                      remote_addr=conn.a.remote_recv_addr + dst_off,
+                      rkey=conn.a.rkey_remote)
+            conn.a.sq_index = yield from ibv_post_send(
+                ctx, conn.a.node.nic, conn.a.qp, wqe, conn.a.sq_index)
+            # Wait for the completion so the next overwrite of the send
+            # buffer cannot race the previous DMA read.
+            yield from ibv_wait_cq(ctx, consumer)
+
+    proc = conn.a.node.cpu.spawn(sender)
+    cluster.sim.run_until_complete(proc, limit=10.0)
+    join_result(proc)
+    cluster.sim.run(until=cluster.sim.now + 2e-3)
+
+    for size, dst_off, pattern in payloads:
+        reference[dst_off:dst_off + size] = pattern
+    got = conn.b.node.gpu.dram.read(conn.b.recv_buf.base, BUF)
+    assert got == bytes(reference)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(min_value=1, max_value=12))
+def test_property_one_cqe_per_send_in_order(n):
+    cluster = build_ib_cluster()
+    conn = setup_ib_connection(cluster, 4 * KIB, buffer_location="host")
+
+    def sender(ctx):
+        consumer = conn.a.host_send_cq_consumer()
+        ids = []
+        for i in range(n):
+            wqe = Wqe(opcode=IbOpcode.RDMA_WRITE, wr_id=1000 + i,
+                      local_addr=conn.a.send_buf.base, lkey=conn.a.lkey,
+                      length=64, remote_addr=conn.a.remote_recv_addr,
+                      rkey=conn.a.rkey_remote)
+            conn.a.sq_index = yield from ibv_post_send(
+                ctx, conn.a.node.nic, conn.a.qp, wqe, conn.a.sq_index)
+        for _ in range(n):
+            cqe = yield from ibv_wait_cq(ctx, consumer)
+            ids.append(cqe.wr_id)
+        return ids
+
+    proc = conn.a.node.cpu.spawn(sender)
+    cluster.sim.run_until_complete(proc, limit=10.0)
+    ids = join_result(proc)
+    assert ids == [1000 + i for i in range(n)]
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(size=st.integers(min_value=8, max_value=2 * KIB))
+def test_property_rdma_read_returns_remote_bytes(size):
+    cluster = build_ib_cluster()
+    conn = setup_ib_connection(cluster, 4 * KIB, buffer_location="host")
+    pattern = bytes((i * 13 + 5) % 256 for i in range(size))
+    conn.b.node.gpu.dram.write(conn.b.recv_buf.base, pattern)
+
+    def reader(ctx):
+        # Read the peer's recv buffer back into our own recv buffer.
+        mr = conn.a.node.nic.register_memory(conn.a.recv_buf)
+        wqe = Wqe(opcode=IbOpcode.RDMA_READ, wr_id=1,
+                  local_addr=conn.a.recv_buf.base, lkey=mr.lkey, length=size,
+                  remote_addr=conn.a.remote_recv_addr, rkey=conn.a.rkey_remote)
+        conn.a.sq_index = yield from ibv_post_send(
+            ctx, conn.a.node.nic, conn.a.qp, wqe, conn.a.sq_index)
+        yield from ibv_wait_cq(ctx, conn.a.host_send_cq_consumer())
+
+    proc = conn.a.node.cpu.spawn(reader)
+    cluster.sim.run_until_complete(proc, limit=10.0)
+    join_result(proc)
+    assert conn.a.node.gpu.dram.read(conn.a.recv_buf.base, size) == pattern

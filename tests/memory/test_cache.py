@@ -1,0 +1,124 @@
+"""Unit + property tests for the L2 cache model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.memory import Cache, CacheConfig
+
+
+def small_cache(ways=2, sets=4, line=32):
+    return Cache(CacheConfig(size_bytes=ways * sets * line, line_bytes=line, ways=ways))
+
+
+def test_first_read_misses_second_hits():
+    c = small_cache()
+    hits, misses = c.read(0x40, 8)
+    assert (hits, misses) == (0, 1)
+    hits, misses = c.read(0x40, 8)
+    assert (hits, misses) == (1, 0)
+
+
+def test_write_allocates_then_read_hits():
+    """The pollOnGPU pattern: NIC-visible flag written, then polled — resident."""
+    c = small_cache()
+    c.write(0x100, 8)
+    hits, misses = c.read(0x100, 8)
+    assert (hits, misses) == (1, 0)
+
+
+def test_invalidate_forces_remiss():
+    c = small_cache()
+    c.read(0x40, 8)
+    assert c.contains(0x40)
+    dropped = c.invalidate(0x40, 8)
+    assert dropped == 1
+    hits, misses = c.read(0x40, 8)
+    assert (hits, misses) == (0, 1)
+
+
+def test_multi_sector_access_counts_each_sector():
+    c = small_cache(line=32)
+    hits, misses = c.read(0x0, 128)  # 4 sectors
+    assert (hits, misses) == (0, 4)
+    assert c.stats.read_requests == 4
+
+
+def test_unaligned_access_spanning_two_sectors():
+    c = small_cache(line=32)
+    hits, misses = c.read(30, 4)  # crosses the 32B boundary
+    assert misses == 2
+
+
+def test_lru_eviction_within_set():
+    c = small_cache(ways=2, sets=1, line=32)
+    c.read(0 * 32, 1)
+    c.read(1 * 32, 1)
+    c.read(2 * 32, 1)          # evicts line 0 (LRU)
+    assert not c.contains(0)
+    assert c.contains(32)
+    assert c.contains(64)
+
+
+def test_lru_touch_refreshes():
+    c = small_cache(ways=2, sets=1, line=32)
+    c.read(0, 1)
+    c.read(32, 1)
+    c.read(0, 1)               # refresh line 0
+    c.read(64, 1)              # should evict line 32, not line 0
+    assert c.contains(0)
+    assert not c.contains(32)
+
+
+def test_stats_accumulate_and_reset():
+    c = small_cache()
+    c.read(0, 1)
+    c.read(0, 1)
+    c.write(64, 1)
+    assert c.stats.read_requests == 2
+    assert c.stats.read_hits == 1
+    assert c.stats.write_requests == 1
+    c.stats.reset()
+    assert c.stats.read_requests == 0
+
+
+def test_flush_empties_cache():
+    c = small_cache()
+    c.read(0, 64)
+    assert c.resident_sectors > 0
+    c.flush()
+    assert c.resident_sectors == 0
+
+
+def test_default_config_is_kepler_sized():
+    c = Cache()
+    assert c.config.size_bytes == 1536 * 1024
+    assert c.config.line_bytes == 32
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigError):
+        CacheConfig(size_bytes=1000, line_bytes=32, ways=16)
+    with pytest.raises(ConfigError):
+        CacheConfig(size_bytes=0)
+    with pytest.raises(ConfigError):
+        CacheConfig(size_bytes=48 * 1024, line_bytes=48, ways=16)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**20), min_size=1, max_size=200))
+def test_property_hits_plus_misses_equals_requests(addrs):
+    c = Cache(CacheConfig(size_bytes=16 * 1024, line_bytes=32, ways=4))
+    for a in addrs:
+        c.read(a, 4)
+    s = c.stats
+    assert s.read_hits + s.read_misses == s.read_requests
+    assert c.resident_sectors <= c.config.num_sets * c.config.ways
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**16), min_size=1, max_size=100))
+def test_property_immediate_rereference_always_hits(addrs):
+    c = Cache(CacheConfig(size_bytes=16 * 1024, line_bytes=32, ways=4))
+    for a in addrs:
+        c.read(a, 1)
+        hits, misses = c.read(a, 1)
+        assert (hits, misses) == (1, 0)

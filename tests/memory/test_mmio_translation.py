@@ -1,0 +1,119 @@
+"""Unit + property tests for MMIO windows and translation tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError, TranslationError
+from repro.memory import AddressRange, MmioWindow, TranslationTable
+
+
+# --- MmioWindow -------------------------------------------------------------
+
+def test_mmio_write_handler_invoked_with_relative_offset():
+    win = MmioWindow("bar", 0x4000, 0x100)
+    calls = []
+    win.on_write(0x10, 0x20, lambda off, data: calls.append((off, data)))
+    win.write(0x18, b"\x01\x02")
+    assert calls == [(0x8, b"\x01\x02")]
+
+
+def test_mmio_unhandled_write_lands_in_store():
+    win = MmioWindow("bar", 0, 0x100)
+    win.write(0x40, b"scratch")
+    assert win.read(0x40, 7) == b"scratch"
+
+
+def test_mmio_read_handler_overrides_store():
+    win = MmioWindow("bar", 0, 0x100)
+    win.on_read(0, 8, lambda off, length: b"\xaa" * length)
+    win.write(0, b"\x00" * 8)
+    assert win.read(0, 8) == b"\xaa" * 8
+
+
+def test_mmio_handler_overlap_rejected():
+    win = MmioWindow("bar", 0, 0x100)
+    win.on_write(0, 0x10, lambda o, d: None)
+    with pytest.raises(AddressError):
+        win.on_write(0x8, 0x10, lambda o, d: None)
+
+
+def test_mmio_handled_write_still_updates_store():
+    win = MmioWindow("bar", 0, 0x100)
+    win.on_write(0, 0x10, lambda o, d: None)
+    win.write(0, b"\x42")
+    assert win.read(0x0, 1) == b"\x42"
+
+
+def test_find_handler():
+    win = MmioWindow("bar", 0, 0x100)
+    h = lambda o, d: None
+    win.on_write(0x20, 0x10, h)
+    assert win.find_handler(0x28) is h
+    assert win.find_handler(0x00) is None
+
+
+# --- TranslationTable ----------------------------------------------------------
+
+def test_translate_basic():
+    tt = TranslationTable("atu")
+    tt.map(AddressRange(0x10000, 0x1000), physical_base=0x2000_0000)
+    assert tt.translate(0x10010) == 0x2000_0010
+    assert tt.translate(0x10FFF) == 0x2000_0FFF
+
+
+def test_translate_fault():
+    tt = TranslationTable("atu")
+    with pytest.raises(TranslationError):
+        tt.translate(0x42)
+
+
+def test_translate_straddle_rejected():
+    tt = TranslationTable("atu")
+    tt.map(AddressRange(0, 0x1000), physical_base=0)
+    with pytest.raises(TranslationError):
+        tt.translate(0xFF8, 16)
+
+
+def test_overlapping_mapping_rejected():
+    tt = TranslationTable("atu")
+    tt.map(AddressRange(0, 0x1000), physical_base=0)
+    with pytest.raises(TranslationError):
+        tt.map(AddressRange(0x800, 0x1000), physical_base=0x8000)
+
+
+def test_readonly_mapping_blocks_writes():
+    tt = TranslationTable("atu")
+    tt.map(AddressRange(0, 0x1000), physical_base=0, writable=False)
+    assert tt.translate(0x10) == 0x10
+    with pytest.raises(TranslationError):
+        tt.translate(0x10, write=True)
+
+
+def test_unmap():
+    tt = TranslationTable("atu")
+    rng = AddressRange(0, 0x1000)
+    tt.map(rng, physical_base=0)
+    tt.unmap(rng)
+    with pytest.raises(TranslationError):
+        tt.translate(0x10)
+    with pytest.raises(TranslationError):
+        tt.unmap(rng)
+
+
+def test_try_translate_returns_none_on_fault():
+    tt = TranslationTable("atu")
+    assert tt.try_translate(0x10) is None
+
+
+@given(
+    base=st.integers(min_value=0, max_value=2**40),
+    size=st.integers(min_value=1, max_value=2**20),
+    phys=st.integers(min_value=0, max_value=2**40),
+    probe=st.integers(min_value=0, max_value=2**20 - 1),
+)
+def test_property_translation_preserves_offsets(base, size, phys, probe):
+    """translate(v) - phys == v - base for every v in the mapping."""
+    tt = TranslationTable()
+    tt.map(AddressRange(base, size), physical_base=phys)
+    v = base + (probe % size)
+    assert tt.translate(v) - phys == v - base

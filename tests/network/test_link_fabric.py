@@ -1,0 +1,153 @@
+"""Unit + property tests for network links and the fabric."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.network import NetLinkConfig, NetworkFabric, Packet, PacketKind
+from repro.sim import Simulator, join_result
+from repro.units import KIB, US
+
+
+def make_pair(sim=None, config=None):
+    sim = sim or Simulator()
+    fabric = NetworkFabric(sim)
+    a, b = fabric.connect(0, 1, config)
+    return sim, a, b
+
+
+def pkt(payload=b"", src=0, dst=1, header=32):
+    return Packet(PacketKind.RMA_PUT, src, dst, header, payload)
+
+
+def test_packet_crosses_link():
+    sim, a, b = make_pair()
+
+    def sender():
+        yield from a.send(pkt(b"hello"))
+
+    def receiver():
+        p = yield b.recv()
+        return p.payload
+
+    sim.process(sender())
+    rx = sim.process(receiver())
+    sim.run()
+    assert join_result(rx) == b"hello"
+
+
+def test_delivery_takes_latency_plus_serialization():
+    cfg = NetLinkConfig(bandwidth=1e9, latency=1e-6)
+    sim, a, b = make_pair(config=cfg)
+
+    def sender():
+        yield from a.send(pkt(b"\x00" * 968))  # 968+32 = 1000 wire bytes
+
+    def receiver():
+        p = yield b.recv()
+        return sim.now
+
+    sim.process(sender())
+    rx = sim.process(receiver())
+    sim.run()
+    # 1000B at 1GB/s = 1us serialization + 1us latency = 2us.
+    assert join_result(rx) == pytest.approx(2e-6, rel=1e-6)
+
+
+def test_in_order_delivery():
+    sim, a, b = make_pair()
+    received = []
+
+    def sender():
+        for i in range(20):
+            yield from a.send(pkt(bytes([i])))
+
+    def receiver():
+        for _ in range(20):
+            p = yield b.recv()
+            received.append(p.payload[0])
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert received == list(range(20))
+
+
+def test_duplex_no_cross_interference():
+    """Both directions full rate simultaneously."""
+    cfg = NetLinkConfig(bandwidth=1e9, latency=0.0)
+    sim, a, b = make_pair(config=cfg)
+    done = {}
+
+    def sender(ep, tag):
+        yield from ep.send(pkt(b"\x00" * (1000 - 32)))
+        done[tag] = sim.now
+
+    sim.process(sender(a, "a"))
+    sim.process(sender(b, "b"))
+    sim.run()
+    assert done["a"] == pytest.approx(1e-6)
+    assert done["b"] == pytest.approx(1e-6)
+
+
+def test_same_direction_packets_serialize():
+    cfg = NetLinkConfig(bandwidth=1e9, latency=0.0)
+    sim, a, b = make_pair(config=cfg)
+    done = []
+
+    def sender(tag):
+        yield from a.send(pkt(b"\x00" * (1000 - 32)))
+        done.append((tag, sim.now))
+
+    sim.process(sender("x"))
+    sim.process(sender("y"))
+    sim.run()
+    assert done[0][1] == pytest.approx(1e-6)
+    assert done[1][1] == pytest.approx(2e-6)
+
+
+def test_fabric_rejects_self_connection():
+    sim = Simulator()
+    fabric = NetworkFabric(sim)
+    with pytest.raises(NetworkError):
+        fabric.connect(0, 0)
+
+
+def test_fabric_rejects_duplicate_connection():
+    sim = Simulator()
+    fabric = NetworkFabric(sim)
+    fabric.connect(0, 1)
+    with pytest.raises(NetworkError):
+        fabric.connect(1, 0)
+
+
+def test_fabric_endpoint_lookup():
+    sim = Simulator()
+    fabric = NetworkFabric(sim)
+    a, b = fabric.connect(3, 7)
+    assert fabric.endpoint(3) is a
+    assert fabric.endpoint(7) is b
+    with pytest.raises(NetworkError):
+        fabric.endpoint(42)
+    assert fabric.link_between(7, 3) is a.link
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=30))
+def test_property_all_payloads_arrive_in_order(payloads):
+    sim, a, b = make_pair()
+    received = []
+
+    def sender():
+        for p in payloads:
+            yield from a.send(pkt(p))
+
+    def receiver():
+        for _ in payloads:
+            got = yield b.recv()
+            received.append(got.payload)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert received == payloads

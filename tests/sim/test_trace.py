@@ -1,0 +1,69 @@
+"""Unit tests for the tracing facility."""
+
+from repro.sim import NULL_TRACER, NullTracer, Simulator, TraceRecord, Tracer
+
+
+def test_tracer_records_time_and_category():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def body():
+        yield sim.timeout(2.0)
+        tracer.emit("rma", "posted WR")
+
+    sim.process(body())
+    sim.run()
+    assert len(tracer.records) == 1
+    rec = tracer.records[0]
+    assert rec.time == 2.0
+    assert rec.category == "rma"
+    assert "posted WR" in rec.message
+
+
+def test_tracer_category_filtering():
+    sim = Simulator()
+    tracer = Tracer(sim, categories={"keep"})
+    tracer.emit("keep", "a")
+    tracer.emit("drop", "b")
+    assert [r.category for r in tracer.records] == ["keep"]
+
+
+def test_tracer_filter_method():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("x", "1")
+    tracer.emit("y", "2")
+    tracer.emit("x", "3")
+    assert [r.message for r in tracer.filter("x")] == ["1", "3"]
+
+
+def test_tracer_sink_callback():
+    sim = Simulator()
+    seen = []
+    tracer = Tracer(sim, sink=seen.append)
+    tracer.emit("cat", "msg")
+    assert len(seen) == 1
+    assert isinstance(seen[0], TraceRecord)
+
+
+def test_tracer_clear():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("a", "b")
+    tracer.clear()
+    assert tracer.records == []
+
+
+def test_null_tracer_is_inert():
+    NULL_TRACER.emit("anything", "goes")
+    assert NULL_TRACER.records == []
+    assert NULL_TRACER.filter("anything") == []
+    NULL_TRACER.clear()
+    assert not NullTracer.enabled
+    assert Tracer.enabled
+
+
+def test_trace_record_str_format():
+    rec = TraceRecord(time=1.5e-6, category="pcie", message="TLP sent")
+    s = str(rec)
+    assert "1.500us" in s and "pcie" in s and "TLP sent" in s

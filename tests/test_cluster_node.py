@@ -1,0 +1,69 @@
+"""Tests for node composition and cluster builders."""
+
+import pytest
+
+from repro import NodeConfig, build_extoll_cluster, build_ib_cluster
+from repro.errors import ConfigError
+from repro.extoll import ExtollNic
+from repro.ib import Hca
+from repro.memory import MemorySpace
+from repro.node import Node
+from repro.sim import Simulator
+from repro.units import MIB
+
+
+def test_node_memory_layout():
+    node = Node(Simulator(), 0)
+    user = node.host_malloc(1024)
+    kern = node.kernel_alloc.alloc(1024)
+    assert node.host_mem.range.contains(user.base, user.size)
+    assert node.host_mem.range.contains(kern.base, kern.size)
+    assert not user.overlaps(kern)
+    assert kern.base >= user.base  # kernel region sits above user space
+
+
+def test_node_gpu_wired_to_fabric():
+    node = Node(Simulator(), 0)
+    assert node.gpu.port.fabric is node.pcie
+    assert node.address_map.space_of(node.gpu.dram.range.base) is MemorySpace.GPU_DRAM
+
+
+def test_node_config_validation():
+    with pytest.raises(ConfigError):
+        NodeConfig(host_mem_bytes=8 * MIB, kernel_mem_bytes=8 * MIB)
+
+
+def test_extoll_cluster_builds_two_connected_nodes():
+    cluster = build_extoll_cluster()
+    assert len(cluster.nodes) == 2
+    assert isinstance(cluster.a.nic, ExtollNic)
+    assert isinstance(cluster.b.nic, ExtollNic)
+    assert cluster.net.link_between(0, 1) is not None
+    assert cluster.a.sim is cluster.b.sim
+
+
+def test_ib_cluster_builds_hcas():
+    cluster = build_ib_cluster()
+    assert isinstance(cluster.a.nic, Hca)
+    assert isinstance(cluster.b.nic, Hca)
+
+
+def test_node_rejects_second_nic():
+    cluster = build_extoll_cluster()
+    with pytest.raises(ConfigError):
+        cluster.a.attach_extoll(cluster.net.endpoint(0))
+
+
+def test_custom_node_config_propagates():
+    from repro.gpu import GpuConfig
+    cfg = NodeConfig(gpu=GpuConfig(dram_bytes=32 * MIB, sm_count=4))
+    cluster = build_extoll_cluster(cfg)
+    assert cluster.a.gpu.config.sm_count == 4
+    assert cluster.a.gpu.dram.range.size == 32 * MIB
+
+
+def test_cluster_run_advances_shared_clock():
+    cluster = build_extoll_cluster()
+    cluster.sim.timeout(1e-3)
+    cluster.run(until=1e-3)
+    assert cluster.sim.now == 1e-3

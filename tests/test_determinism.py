@@ -1,0 +1,61 @@
+"""The simulation must be deterministic: identical builds produce identical
+results, event for event.  This is what makes the benchmark suite's shape
+assertions trustworthy."""
+
+from repro import build_extoll_cluster, build_ib_cluster
+from repro.core import (
+    ExtollMode,
+    IbMode,
+    RateMethod,
+    run_extoll_message_rate,
+    run_extoll_pingpong,
+    run_ib_pingpong,
+    setup_extoll_connection,
+    setup_extoll_connections,
+    setup_ib_connection,
+)
+from repro.units import KIB
+
+
+def test_extoll_pingpong_bitwise_repeatable():
+    results = []
+    for _ in range(2):
+        cluster = build_extoll_cluster()
+        conn = setup_extoll_connection(cluster, 4 * KIB)
+        p = run_extoll_pingpong(cluster, conn, ExtollMode.DIRECT, 1 * KIB,
+                                iterations=6, warmup=1)
+        results.append((p.latency, p.post_time, p.poll_time))
+    assert results[0] == results[1]
+
+
+def test_ib_pingpong_bitwise_repeatable():
+    results = []
+    for _ in range(2):
+        cluster = build_ib_cluster()
+        conn = setup_ib_connection(cluster, 4 * KIB)
+        p = run_ib_pingpong(cluster, conn, IbMode.BUF_ON_GPU, 256,
+                            iterations=6, warmup=1)
+        results.append(p.latency)
+    assert results[0] == results[1]
+
+
+def test_message_rate_bitwise_repeatable():
+    results = []
+    for _ in range(2):
+        cluster = build_extoll_cluster()
+        conns = setup_extoll_connections(cluster, 4 * KIB, 4)
+        r = run_extoll_message_rate(cluster, conns, RateMethod.BLOCKS,
+                                    per_connection=20)
+        results.append(r.elapsed)
+    assert results[0] == results[1]
+
+
+def test_counters_bitwise_repeatable():
+    counter_dumps = []
+    for _ in range(2):
+        cluster = build_extoll_cluster()
+        conn = setup_extoll_connection(cluster, 4 * KIB)
+        run_extoll_pingpong(cluster, conn, ExtollMode.POLL_ON_GPU, 1 * KIB,
+                            iterations=10, warmup=0)
+        counter_dumps.append(conn.a.node.gpu.counters.as_dict())
+    assert counter_dumps[0] == counter_dumps[1]
