@@ -1,12 +1,26 @@
-"""``python -m repro`` — print the reproduction report.
+"""``python -m repro`` — the command-line entry point.
 
-Equivalent to ``python -m repro.analysis.report``; see ``--help`` for the
-scale option.
+Subcommands:
+
+* ``report`` (default) — print the full reproduction report
+  (``python -m repro [report] [--scale S] [--trace PATH]``),
+* ``trace`` — run one traced ping-pong and export a Chrome trace
+  (``python -m repro trace --mode dev2dev-direct --size 64 --out trace.json``).
 """
 
 import sys
 
-from .analysis.report import main
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        from .obs.cli import main as trace_main
+        return trace_main(argv[1:])
+    if argv and argv[0] == "report":
+        argv = argv[1:]
+    from .analysis.report import main as report_main
+    return report_main(argv)
+
 
 if __name__ == "__main__":
     sys.exit(main())

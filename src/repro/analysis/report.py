@@ -67,8 +67,26 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.5,
                         help="parameter-grid scale (1.0 = paper-sized)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="also record every simulator into a Chrome "
+                             "trace-event JSON file at PATH")
     args = parser.parse_args(argv)
-    generate_report(scale=args.scale)
+    if args.trace:
+        from ..obs import SpanTracer, write_chrome_trace
+        from ..sim import set_default_tracer
+        # The full report runs dozens of simulations; cap the retained spans
+        # so the trace stays loadable (overflow is counted in ``dropped``).
+        tracer = SpanTracer(max_spans=1_000_000)
+        set_default_tracer(tracer)  # every cluster built below picks it up
+        try:
+            generate_report(scale=args.scale)
+        finally:
+            set_default_tracer(None)
+        write_chrome_trace(tracer, args.trace)
+        print(f"trace: {len(tracer.spans)} spans -> {args.trace}",
+              file=sys.stderr)
+    else:
+        generate_report(scale=args.scale)
     return 0
 
 

@@ -22,6 +22,7 @@ from ..extoll import (
     rma_wait_notification,
 )
 from ..ib import IbOpcode, Wqe, ibv_post_recv, ibv_post_send, ibv_wait_cq
+from ..sim import NULL_SPAN
 from ..units import MIB
 from .gpu_rma import gpu_rma_post, gpu_rma_wait_notification
 from .gpu_verbs import gpu_post_send, gpu_wait_cq
@@ -65,7 +66,12 @@ def run_extoll_bandwidth(cluster: Cluster, conn: ExtollConnection,
     else:
         raise BenchmarkError(f"{mode} is not a bandwidth configuration (§V-A1)")
 
+    trc = cluster.sim.tracer
+    bench = (trc.begin("bench", f"bandwidth:{mode.value}", track="bench",
+                       size=size, count=count)
+             if trc.enabled else NULL_SPAN)
     cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    bench.end()
     return BandwidthPoint(size=size, bytes_moved=size * count,
                           elapsed=timing.end - timing.start)
 
@@ -201,7 +207,12 @@ def run_ib_bandwidth(cluster: Cluster, conn: IbConnection, mode: IbMode,
     else:  # pragma: no cover
         raise BenchmarkError(f"unknown mode {mode}")
 
+    trc = cluster.sim.tracer
+    bench = (trc.begin("bench", f"bandwidth:{mode.value}", track="bench",
+                       size=size, count=count)
+             if trc.enabled else NULL_SPAN)
     cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    bench.end()
     return BandwidthPoint(size=size, bytes_moved=size * count,
                           elapsed=timing.end - timing.start)
 

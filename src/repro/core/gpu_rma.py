@@ -21,6 +21,7 @@ from __future__ import annotations
 from ..errors import RmaError
 from ..extoll import Notification, NotificationCursor, RmaWorkRequest
 from ..gpu import ThreadCtx
+from ..sim import NULL_SPAN
 
 # ALU instruction budgets (loads/stores add their own instruction counts).
 POST_ASSEMBLE_COST = 34        # pack the three descriptor words
@@ -46,11 +47,16 @@ def gpu_rma_post(ctx: ThreadCtx, page_addr: int, wr: RmaWorkRequest):
     Returns the simulated time spent (used by the Fig. 3 phase split).
     """
     start = ctx.sim.now
+    trc = ctx.sim.tracer
+    span = (trc.begin("rma.api", "gpu_rma_post", track=ctx.track,
+                      op=wr.op.name.lower(), bytes=wr.size)
+            if trc.enabled else NULL_SPAN)
     yield from ctx.alu(POST_ASSEMBLE_COST)
     w0, w1, w2 = wr.words()
     yield from ctx.store_u64(page_addr, w0)
     yield from ctx.store_u64(page_addr + 8, w1)
     yield from ctx.store_u64(page_addr + 16, w2)
+    span.end()
     return ctx.sim.now - start
 
 
@@ -62,6 +68,9 @@ def gpu_rma_wait_notification(ctx: ThreadCtx, cursor: GpuNotificationCursor,
     a full PCIe round trip from the GPU's point of view.  Returns
     ``(Notification, polls)``.
     """
+    trc = ctx.sim.tracer
+    span = (trc.begin("rma.api", "wait-notification", track=ctx.track)
+            if trc.enabled else NULL_SPAN)
     polls = 0
     while True:
         word0 = yield from ctx.load_u64(cursor.slot_addr)
@@ -83,6 +92,9 @@ def gpu_rma_wait_notification(ctx: ThreadCtx, cursor: GpuNotificationCursor,
     cursor.read_index += 1
     yield from ctx.store_u32(cursor.queue.read_ptr_addr,
                              cursor.read_index % (1 << 32))
+    span.end(polls=polls)
+    if trc.enabled:
+        trc.metrics.histogram("rma.notification_polls").observe(polls)
     return record, polls
 
 

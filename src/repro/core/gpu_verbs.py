@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from ..errors import VerbsError
 from ..gpu import ThreadCtx
 from ..ib import CQE_BYTES, Cqe, Wqe
+from ..sim import NULL_SPAN
 from ..ib.hca import Hca, encode_doorbell
 from ..ib.qp import QueuePair
 from ..ib.wqe import (
@@ -66,6 +67,10 @@ def gpu_post_send(ctx: ThreadCtx, hca: Hca, qp: QueuePair, wqe: Wqe,
     the per-request fields (addresses, size) are byte-swapped.
     """
     qp.require_rts()
+    trc = ctx.sim.tracer
+    span = (trc.begin("ib.api", "gpu_post_send", track=ctx.track,
+                      qp=qp.qp_num, bytes=wqe.length, optimized=optimized)
+            if trc.enabled else NULL_SPAN)
     total = (post_send_instruction_cost_static_optimized() if optimized
              else post_send_instruction_cost())
     yield from ctx.alu(total - _POST_MEMORY_INSTRUCTIONS)
@@ -79,6 +84,7 @@ def gpu_post_send(ctx: ThreadCtx, hca: Hca, qp: QueuePair, wqe: Wqe,
     yield from ctx.fence_system()
     yield from ctx.store_u64(hca.doorbell_addr(qp),
                              encode_doorbell(producer_index + 1))
+    span.end()
     return producer_index + 1
 
 
@@ -123,11 +129,17 @@ def gpu_wait_cq(ctx: ThreadCtx, consumer: GpuCqConsumer,
                 max_polls: int | None = 1_000_000):
     """Spin :func:`gpu_poll_cq` until a completion arrives.  Returns
     ``(Cqe, polls)``."""
+    trc = ctx.sim.tracer
+    span = (trc.begin("ib.api", "gpu_wait_cq", track=ctx.track)
+            if trc.enabled else NULL_SPAN)
     polls = 0
     while True:
         cqe = yield from gpu_poll_cq(ctx, consumer)
         polls += 1
         if cqe is not None:
+            span.end(polls=polls)
+            if trc.enabled:
+                trc.metrics.histogram("ib.gpu_cq_polls").observe(polls)
             return cqe, polls
         if max_polls is not None and polls >= max_polls:
             raise VerbsError(f"GPU CQ wait exceeded {max_polls} polls")

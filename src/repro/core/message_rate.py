@@ -32,6 +32,7 @@ from ..extoll import (
     rma_wait_notification,
 )
 from ..ib import IbOpcode, Wqe, ibv_poll_cq, ibv_post_send, ibv_wait_cq
+from ..sim import NULL_SPAN
 from .gpu_rma import gpu_rma_post, gpu_rma_wait_notification
 from .gpu_verbs import gpu_post_send, gpu_wait_cq
 from .modes import RateMethod
@@ -95,7 +96,13 @@ def run_extoll_message_rate(cluster: Cluster,
     else:  # pragma: no cover
         raise BenchmarkError(f"unknown method {method}")
 
+    trc = cluster.sim.tracer
+    bench = (trc.begin("bench", f"message-rate:{method.value}", track="bench",
+                       connections=len(connections),
+                       per_connection=per_connection)
+             if trc.enabled else NULL_SPAN)
     cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    bench.end()
     return RatePoint(connections=len(connections),
                      messages=len(connections) * per_connection,
                      elapsed=timing.elapsed)
@@ -226,7 +233,13 @@ def run_ib_message_rate(cluster: Cluster, connections: List[IbConnection],
     else:  # pragma: no cover
         raise BenchmarkError(f"unknown method {method}")
 
+    trc = cluster.sim.tracer
+    bench = (trc.begin("bench", f"message-rate:{method.value}", track="bench",
+                       connections=len(connections),
+                       per_connection=per_connection)
+             if trc.enabled else NULL_SPAN)
     cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    bench.end()
     return RatePoint(connections=len(connections),
                      messages=len(connections) * per_connection,
                      elapsed=timing.elapsed)

@@ -21,6 +21,7 @@ from ..extoll import (
     rma_wait_notification,
 )
 from ..ib import IbOpcode, Wqe, ibv_post_recv, ibv_post_send, ibv_wait_cq
+from ..sim import NULL_SPAN
 from .gpu_rma import (
     GpuNotificationCursor,
     gpu_rma_poll_last_element,
@@ -76,6 +77,15 @@ class _PingTiming:
     poll_time: float = 0.0
 
 
+def _phase(trc, name: str, measured: bool, i: int):
+    """A driver-level phase span on the ``ping`` track, opened only for
+    measured iterations so its summed duration reconciles exactly with the
+    ``LatencyPoint`` post/poll accumulators (the ``trace`` CLI checks this)."""
+    if not measured:
+        return NULL_SPAN
+    return trc.begin("phase", name, track="ping", iter=i)
+
+
 # =============================================================================
 # EXTOLL
 # =============================================================================
@@ -118,7 +128,12 @@ def run_extoll_pingpong(cluster: Cluster, conn: ExtollConnection,
     else:  # pragma: no cover
         raise BenchmarkError(f"unknown mode {mode}")
 
+    trc = cluster.sim.tracer
+    bench = (trc.begin("bench", f"pingpong:{mode.value}", track="bench",
+                       size=size, iterations=iterations, warmup=warmup)
+             if trc.enabled else NULL_SPAN)
     cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    bench.end()
     elapsed = timing.end - timing.start
     return LatencyPoint(size=size, latency=elapsed / (2 * iterations),
                         post_time=timing.post_time / iterations,
@@ -133,16 +148,22 @@ def _extoll_direct(cluster, conn, size, total, warmup, timing):
     wr_pong = _extoll_wr(conn.b, conn.a, size, flags)
 
     def ping(ctx):
+        trc = ctx.sim.tracer
         req_cur = conn.a.requester_cursor()
         cmpl_cur = conn.a.completer_cursor()
         for i in range(1, total + 1):
             if i == warmup + 1:
                 timing.start = ctx.sim.now
+            measured = trc.enabled and i > warmup
+            span = _phase(trc, "wr-generation", measured, i)
             t0 = ctx.sim.now
             yield from gpu_rma_post(ctx, conn.a.port.page_addr, wr_ping)
             t1 = ctx.sim.now
+            span.end()
+            span = _phase(trc, "polling", measured, i)
             yield from gpu_rma_wait_notification(ctx, req_cur)
             yield from gpu_rma_wait_notification(ctx, cmpl_cur)
+            span.end()
             if i > warmup:
                 timing.post_time += t1 - t0
                 timing.poll_time += ctx.sim.now - t1
@@ -167,15 +188,21 @@ def _extoll_poll_on_gpu(cluster, conn, size, total, warmup, timing):
     off = _marker_offset(size)
 
     def ping(ctx):
+        trc = ctx.sim.tracer
         for i in range(1, total + 1):
             if i == warmup + 1:
                 timing.start = ctx.sim.now
+            measured = trc.enabled and i > warmup
+            span = _phase(trc, "wr-generation", measured, i)
             t0 = ctx.sim.now
             yield from _gpu_write_marker(ctx, conn.a.send_buf.base, size, i)
             yield from gpu_rma_post(ctx, conn.a.port.page_addr, wr_ping)
             t1 = ctx.sim.now
+            span.end()
+            span = _phase(trc, "polling", measured, i)
             yield from ctx.spin_until_u64(conn.a.recv_buf.base + off,
                                           _marker_predicate(size, i))
+            span.end()
             if i > warmup:
                 timing.post_time += t1 - t0
                 timing.poll_time += ctx.sim.now - t1
@@ -201,14 +228,20 @@ def _extoll_assisted(cluster, conn, size, total, warmup, timing):
         wr = _extoll_wr(end, peer, size, NotifyFlags.REQUESTER | NotifyFlags.COMPLETER)
 
         def gpu_ping(ctx, flags=flags):
+            trc = ctx.sim.tracer
             for i in range(1, total + 1):
                 if i == warmup + 1:
                     timing.start = ctx.sim.now
+                measured = trc.enabled and i > warmup
+                span = _phase(trc, "wr-generation", measured, i)
                 t0 = ctx.sim.now
                 yield from ctx.store_u64(flags + FLAG_REQUEST, i)
                 yield from ctx.spin_until_u64(flags + FLAG_SENT, lambda v, i=i: v == i)
                 t1 = ctx.sim.now
+                span.end()
+                span = _phase(trc, "polling", measured, i)
                 yield from ctx.spin_until_u64(flags + FLAG_ARRIVED, lambda v, i=i: v == i)
+                span.end()
                 if i > warmup:
                     timing.post_time += t1 - t0
                     timing.poll_time += ctx.sim.now - t1
@@ -248,16 +281,22 @@ def _extoll_host_controlled(cluster, conn, size, total, warmup, timing):
     wr_pong = _extoll_wr(conn.b, conn.a, size, flags)
 
     def ping(ctx):
+        trc = ctx.sim.tracer
         req_cur = conn.a.requester_cursor()
         cmpl_cur = conn.a.completer_cursor()
         for i in range(1, total + 1):
             if i == warmup + 1:
                 timing.start = ctx.sim.now
+            measured = trc.enabled and i > warmup
+            span = _phase(trc, "wr-generation", measured, i)
             t0 = ctx.sim.now
             yield from rma_post(ctx, conn.a.port.page_addr, wr_ping)
             t1 = ctx.sim.now
+            span.end()
+            span = _phase(trc, "polling", measured, i)
             yield from rma_wait_notification(ctx, req_cur)
             yield from rma_wait_notification(ctx, cmpl_cur)
+            span.end()
             if i > warmup:
                 timing.post_time += t1 - t0
                 timing.poll_time += ctx.sim.now - t1
@@ -311,7 +350,12 @@ def run_ib_pingpong(cluster: Cluster, conn: IbConnection, mode: IbMode,
     else:  # pragma: no cover
         raise BenchmarkError(f"unknown mode {mode}")
 
+    trc = cluster.sim.tracer
+    bench = (trc.begin("bench", f"pingpong:{mode.value}", track="bench",
+                       size=size, iterations=iterations, warmup=warmup)
+             if trc.enabled else NULL_SPAN)
     cluster.sim.run_until_complete(*handles, limit=cluster.sim.now + 600.0)
+    bench.end()
     elapsed = timing.end - timing.start
     return LatencyPoint(size=size, latency=elapsed / (2 * iterations),
                         post_time=timing.post_time / iterations,
@@ -324,19 +368,25 @@ def _ib_gpu_controlled(cluster, conn, size, total, warmup, timing):
     off = _marker_offset(size)
 
     def ping(ctx):
+        trc = ctx.sim.tracer
         consumer = conn.a.send_cq_consumer()
         for i in range(1, total + 1):
             if i == warmup + 1:
                 timing.start = ctx.sim.now
+            measured = trc.enabled and i > warmup
+            span = _phase(trc, "wr-generation", measured, i)
             t0 = ctx.sim.now
             yield from _gpu_write_marker(ctx, conn.a.send_buf.base, size, i)
             wqe = _ib_write_wqe(conn.a, size, wr_id=i)
             conn.a.sq_index = yield from gpu_post_send(
                 ctx, conn.a.node.nic, conn.a.qp, wqe, conn.a.sq_index)
             t1 = ctx.sim.now
+            span.end()
+            span = _phase(trc, "polling", measured, i)
             yield from gpu_wait_cq(ctx, consumer)
             yield from ctx.spin_until_u64(conn.a.recv_buf.base + off,
                                           _marker_predicate(size, i))
+            span.end()
             if i > warmup:
                 timing.post_time += t1 - t0
                 timing.poll_time += ctx.sim.now - t1
@@ -364,14 +414,20 @@ def _ib_assisted(cluster, conn, size, total, warmup, timing):
         flags = end.flag_page.base
 
         def gpu_ping(ctx, flags=flags):
+            trc = ctx.sim.tracer
             for i in range(1, total + 1):
                 if i == warmup + 1:
                     timing.start = ctx.sim.now
+                measured = trc.enabled and i > warmup
+                span = _phase(trc, "wr-generation", measured, i)
                 t0 = ctx.sim.now
                 yield from ctx.store_u64(flags + FLAG_REQUEST, i)
                 yield from ctx.spin_until_u64(flags + FLAG_SENT, lambda v, i=i: v == i)
                 t1 = ctx.sim.now
+                span.end()
+                span = _phase(trc, "polling", measured, i)
                 yield from ctx.spin_until_u64(flags + FLAG_ARRIVED, lambda v, i=i: v == i)
+                span.end()
                 if i > warmup:
                     timing.post_time += t1 - t0
                     timing.poll_time += ctx.sim.now - t1
@@ -459,14 +515,20 @@ def _ib_host_controlled(cluster, conn, size, total, warmup, timing):
                     Wqe(opcode=IbOpcode.RECV, wr_id=0, local_addr=0, lkey=0,
                         length=max(size, 1)), end.rq_index)
 
+            trc = ctx.sim.tracer
             for i in range(1, total + 1):
                 if is_ping:
                     if i == warmup + 1:
                         timing.start = ctx.sim.now
+                    measured = trc.enabled and i > warmup
+                    span = _phase(trc, "wr-generation", measured, i)
                     t0 = ctx.sim.now
                     yield from do_send(i)
                     t1 = ctx.sim.now
+                    span.end()
+                    span = _phase(trc, "polling", measured, i)
                     yield from do_recv(i)
+                    span.end()
                     if i > warmup:
                         timing.post_time += t1 - t0
                         timing.poll_time += ctx.sim.now - t1

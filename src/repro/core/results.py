@@ -26,9 +26,14 @@ class LatencyPoint:
     def poll_to_post_ratio(self) -> float:
         """Polling time over WR-generation time — the quantity Fig. 3 plots
         (§V-A3: 'polling on system memory needs ten times the time than it
-        is needed to post the WR')."""
+        is needed to post the WR').
+
+        A measurement that spent time polling but recorded no posting time
+        has an unbounded ratio (``inf``); the ratio is undefined (``nan``)
+        only when neither phase was measured.
+        """
         if self.post_time <= 0.0:
-            return float("nan")
+            return float("inf") if self.poll_time > 0.0 else float("nan")
         return self.poll_time / self.post_time
 
 

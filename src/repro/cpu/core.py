@@ -49,7 +49,7 @@ class Cpu:
     def spawn(self, fn: Callable[["HostThread"], Generator], name: str = "") -> Process:
         """Start a host thread running ``fn(ctx)``."""
         self.threads_spawned += 1
-        ctx = HostThread(self)
+        ctx = HostThread(self, track=name or f"{self.name}.t{self.threads_spawned}")
         return self.sim.process(fn(ctx), name=name or f"{self.name}.t{self.threads_spawned}")
 
     def thread_ctx(self) -> "HostThread":
@@ -59,9 +59,11 @@ class Cpu:
 class HostThread:
     """Execution context of one host thread."""
 
-    def __init__(self, cpu: Cpu) -> None:
+    def __init__(self, cpu: Cpu, track: str = "") -> None:
         self.cpu = cpu
         self.sim = cpu.sim
+        # Trace track of this host thread: one timeline row per thread.
+        self.track = track or cpu.name
 
     # -- compute ----------------------------------------------------------------
     def compute(self, instructions: int) -> Generator:

@@ -116,7 +116,7 @@ class ExtollNic:
             rng = alloc.alloc(footprint)
             queues.append(NotificationQueue(
                 f"{self.name}.p{port_id}.{kind}", alloc.memory,
-                rng.base, entries))
+                rng.base, entries, sim=self.sim))
         port = RmaPort(port_id, page_addr, *queues)
         self._ports[port_id] = port
 
@@ -132,7 +132,14 @@ class ExtollNic:
             # as three 64-bit stores (a GPU thread).
             if rel_off + len(data) >= WR_BYTES:
                 raw = self.bar.store.read(page_off, WR_BYTES)
-                self.rma.post(RmaWorkRequest.decode(raw))
+                wr = RmaWorkRequest.decode(raw)
+                trc = self.sim.tracer
+                if trc.enabled:
+                    trc.instant("rma", "wr-trigger", track=f"{self.name}.bar",
+                                port=wr.port, op=wr.op.name.lower(),
+                                bytes=wr.size)
+                    trc.metrics.counter("rma.wr_triggers").inc()
+                self.rma.post(wr)
         return handler
 
     def port_state(self, port_id: int) -> RmaPort:

@@ -79,13 +79,15 @@ class NotificationQueue:
     read pointer from memory before declaring overflow.
     """
 
-    def __init__(self, name: str, backing: Memory, base: int, entries: int) -> None:
+    def __init__(self, name: str, backing: Memory, base: int, entries: int,
+                 sim=None) -> None:
         if entries < 2:
             raise RmaError("queue needs at least 2 entries")
         self.name = name
         self.backing = backing
         self.base = base
         self.entries = entries
+        self.sim = sim              # optional: enables claim-slot trace marks
         self.write_ptr = 0          # hardware-private
         self.shadow_read_ptr = 0    # hardware-private cache of the real rp
         backing.fill(base, self.footprint_bytes(entries), 0)
@@ -126,5 +128,8 @@ class NotificationQueue:
                     f"rp={self.shadow_read_ptr}"
                 )
         addr = self.slot_addr(self.write_ptr)
+        if self.sim is not None and self.sim.tracer.enabled:
+            self.sim.tracer.instant("rma", "notif-claim", track=self.name,
+                                    slot=self.write_ptr % self.entries)
         self.write_ptr += 1
         return addr

@@ -22,7 +22,7 @@ from typing import Dict, Optional, TYPE_CHECKING
 from ..errors import RmaError
 from ..network import Endpoint, Packet, PacketKind
 from ..pcie import DmaConfig, DmaEngine, PciePort
-from ..sim import Simulator, Store
+from ..sim import NULL_SPAN, Simulator, Store
 from .atu import Atu
 from .config import ExtollConfig
 from .descriptor import NotifyFlags, RmaOp, RmaWorkRequest
@@ -91,21 +91,36 @@ class RmaUnit:
         def write():
             yield from self.notif_dma.write(slot, record.encode())
             self.notifications_written += 1
+            trc = self.sim.tracer
+            if trc.enabled:
+                trc.metrics.counter(f"rma.notifications.{unit.name.lower()}").inc()
 
         self.sim.process(write(), name=f"{self.nic.name}.notif")
 
     # -- requester ------------------------------------------------------------------
     def _requester_loop(self):
+        trc = self.sim.tracer
+        track = f"{self.nic.name}.requester"
         while True:
             wr = yield self.req_inbox.get()
+            # The serial descriptor decode/validate stage; payload movement
+            # overlaps in the spawned execute processes (dma/net spans).
+            span = (trc.begin("rma", f"wr-{wr.op.name.lower()}", track=track,
+                              port=wr.port, bytes=wr.size)
+                    if trc.enabled else NULL_SPAN)
             yield self.sim.timeout(self.config.requester_time)
+            span.end()
             port = self.nic.port_state(wr.port)
             if wr.op is RmaOp.PUT:
                 self.puts_started += 1
+                if trc.enabled:
+                    trc.metrics.counter("rma.puts").inc()
                 self._spawn_guarded(self._execute_put(wr, port),
                                     name=f"{self.nic.name}.put")
             elif wr.op is RmaOp.GET:
                 self.gets_started += 1
+                if trc.enabled:
+                    trc.metrics.counter("rma.gets").inc()
                 self._spawn_guarded(self._execute_get(wr, port),
                                     name=f"{self.nic.name}.get")
             else:  # pragma: no cover - decode() already validates
@@ -140,10 +155,16 @@ class RmaUnit:
 
     # -- completer / responder ---------------------------------------------------------
     def _receive_loop(self):
+        trc = self.sim.tracer
+        track = f"{self.nic.name}.completer"
         while True:
             packet = yield self.endpoint.recv()
             self.packets_handled += 1
+            span = (trc.begin("rma", f"cmpl-{packet.kind.value}", track=track,
+                              seq=packet.seq, bytes=len(packet.payload))
+                    if trc.enabled else NULL_SPAN)
             yield self.sim.timeout(self.config.completer_time)
+            span.end()
             if packet.kind is PacketKind.RMA_PUT:
                 self._spawn_guarded(self._complete_put(packet),
                                     name=f"{self.nic.name}.cmpl-put")

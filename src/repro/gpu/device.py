@@ -58,6 +58,7 @@ class Gpu:
                                           capacity=self.config.sysmem_read_slots,
                                           name=f"{name}.sysmem-mshrs")
         self.default_stream = Stream(self, f"{name}.stream0")
+        self.launches = 0  # per-GPU launch ordinal (distinct trace tracks)
         self._port: Optional[PciePort] = None
 
     # -- wiring -------------------------------------------------------------------
@@ -116,8 +117,9 @@ class Gpu:
         """
         validate_geometry(self, grid, block)
         handle = KernelHandle(self, getattr(fn, "__name__", "kernel"), grid, block)
-        launcher = run_kernel(self, handle, fn, grid, block, args)
-        (stream or self.default_stream).chain(handle, launcher)
+        st = stream or self.default_stream
+        launcher = run_kernel(self, handle, fn, grid, block, args, track=st.name)
+        st.chain(handle, launcher)
         return handle
 
     def stream(self, name: str = "") -> Stream:

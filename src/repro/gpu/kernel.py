@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Tuple, TYPE_CHECKING
 
 from ..errors import LaunchError
-from ..sim import AllOf, Event, Process
+from ..sim import NULL_SPAN, AllOf, Event, Process
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .device import Gpu
@@ -23,13 +23,17 @@ DeviceFn = Callable[..., Any]  # generator function: (ctx, *args) -> generator
 class KernelHandle(Event):
     """Completion event of a launched kernel."""
 
-    __slots__ = ("fn_name", "grid", "block", "results")
+    __slots__ = ("fn_name", "grid", "block", "results", "launch_id")
 
     def __init__(self, gpu: "Gpu", fn_name: str, grid: int, block: int) -> None:
         super().__init__(gpu.sim, f"kernel:{fn_name}")
         self.fn_name = fn_name
         self.grid = grid
         self.block = block
+        # Per-GPU launch ordinal; makes trace tracks of concurrent launches
+        # (one kernel per stream) distinct.
+        self.launch_id = gpu.launches
+        gpu.launches += 1
         # results[(block_idx, thread_idx)] = return value of that thread
         self.results: Dict[Tuple[int, int], Any] = {}
 
@@ -49,10 +53,17 @@ def validate_geometry(gpu: "Gpu", grid: int, block: int) -> None:
 
 
 def run_kernel(gpu: "Gpu", handle: KernelHandle, fn: DeviceFn, grid: int,
-               block: int, args: tuple) -> Any:
-    """The launch process body: dispatch blocks onto SM slots, join them."""
+               block: int, args: tuple, track: str = "") -> Any:
+    """The launch process body: dispatch blocks onto SM slots, join them.
+
+    ``track`` names the trace timeline the kernel span lands on (one per
+    stream, so FIFO launches nest cleanly)."""
     from .thread import ThreadCtx  # local import avoids a cycle
 
+    trc = gpu.sim.tracer
+    span = (trc.begin("gpu.kernel", handle.fn_name, track=track or gpu.name,
+                      grid=grid, block=block)
+            if trc.enabled else NULL_SPAN)
     yield gpu.sim.timeout(gpu.config.launch_overhead)
 
     block_procs: List[Process] = []
@@ -65,8 +76,12 @@ def run_kernel(gpu: "Gpu", handle: KernelHandle, fn: DeviceFn, grid: int,
         yield AllOf(gpu.sim, block_procs)
     except Exception as exc:
         # A device-side crash (or bad device function) fails the launch.
+        span.end(error=repr(exc))
         handle.fail(exc)
         return
+    span.end()
+    if trc.enabled:
+        trc.metrics.counter("gpu.kernels_launched").inc()
     handle.succeed(handle.results)
 
 
@@ -77,12 +92,21 @@ def _run_block(gpu: "Gpu", handle: KernelHandle, fn: DeviceFn, block_idx: int,
     from .thread import BlockBarrier
 
     yield gpu.sm_slots.acquire()
+    # One timeline row per block; the launch ordinal keeps concurrent
+    # kernels (one block each, many streams) on distinct tracks.
+    block_track = f"{gpu.name}:k{handle.launch_id}.b{block_idx}"
+    trc = gpu.sim.tracer
+    span = (trc.begin("gpu.block", f"{handle.fn_name}:b{block_idx}",
+                      track=block_track)
+            if trc.enabled else NULL_SPAN)
     try:
         yield gpu.sim.timeout(gpu.config.block_dispatch_overhead)
         barrier = BlockBarrier(gpu.sim, block_dim)
         threads: List[Process] = []
         for t in range(block_dim):
-            ctx = ThreadCtx(gpu, block_idx, t, block_dim, grid_dim, barrier)
+            ctx = ThreadCtx(gpu, block_idx, t, block_dim, grid_dim, barrier,
+                            track=(block_track if block_dim == 1
+                                   else f"{block_track}.t{t}"))
             gen = fn(ctx, *args)
             if not hasattr(gen, "send"):
                 raise LaunchError(
@@ -94,4 +118,5 @@ def _run_block(gpu: "Gpu", handle: KernelHandle, fn: DeviceFn, block_idx: int,
         for t, proc in enumerate(threads):
             handle.results[(block_idx, t)] = joined[proc]
     finally:
+        span.end()
         gpu.sm_slots.release()

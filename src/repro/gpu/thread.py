@@ -20,7 +20,7 @@ from typing import Callable, Generator, List, Optional, TYPE_CHECKING
 
 from ..errors import GpuError
 from ..memory import MemorySpace
-from ..sim import AllOf, Process
+from ..sim import NULL_SPAN, AllOf, Process
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .device import Gpu
@@ -60,7 +60,8 @@ class ThreadCtx:
 
     def __init__(self, gpu: "Gpu", block_idx: int, thread_idx: int,
                  block_dim: int, grid_dim: int,
-                 barrier: Optional[BlockBarrier] = None) -> None:
+                 barrier: Optional[BlockBarrier] = None,
+                 track: str = "") -> None:
         self.gpu = gpu
         self.sim = gpu.sim
         self.block_idx = block_idx
@@ -69,6 +70,15 @@ class ThreadCtx:
         self.grid_dim = grid_dim
         self._barrier = barrier
         self._outstanding_stores: List[Process] = []
+        # Trace track of this thread: one timeline row per device thread.
+        # Single-thread blocks (the paper's latency kernels) share the block
+        # track so their memory spans nest inside the block span.
+        if track:
+            self.track = track
+        elif block_dim == 1:
+            self.track = f"{gpu.name}:b{block_idx}"
+        else:
+            self.track = f"{gpu.name}:b{block_idx}t{thread_idx}"
 
     # -- identity helpers -------------------------------------------------------
     @property
@@ -113,12 +123,19 @@ class ThreadCtx:
         # In-flight uncached reads are bounded (MSHR-style); concurrent
         # pollers from many blocks serialize here.
         gpu.counters.sysmem_read_transactions += _sectors(size)
+        trc = self.sim.tracer
+        span = (trc.begin("gpu.sysmem", "read", track=self.track,
+                          addr=hex(phys), bytes=size)
+                if trc.enabled else NULL_SPAN)
         yield self.sim.timeout(gpu.config.sysmem_issue_overhead)
         yield gpu.sysmem_read_slots.acquire()
         try:
             data = yield from gpu.port.read(phys, size)
         finally:
             gpu.sysmem_read_slots.release()
+            span.end()
+        if trc.enabled:
+            trc.metrics.counter("gpu.sysmem_reads").inc()
         return data
 
     def load_u64(self, vaddr: int) -> Generator:
@@ -153,6 +170,11 @@ class ThreadCtx:
             yield self.sim.timeout(gpu.config.instruction_time)
             return
         gpu.counters.sysmem_write_transactions += _sectors(len(data))
+        trc = self.sim.tracer
+        if trc.enabled:
+            trc.instant("gpu.sysmem", "posted-store", track=self.track,
+                        addr=hex(phys), bytes=len(data))
+            trc.metrics.counter("gpu.sysmem_writes").inc()
         yield self.sim.timeout(gpu.config.sysmem_issue_overhead)
         proc = self.sim.process(gpu.port.write(phys, data),
                                 name=f"posted-store@{vaddr:#x}")
@@ -234,12 +256,19 @@ class ThreadCtx:
         counter analysis covers, and keeps multi-millisecond transfers from
         being dominated by poll events.
         """
+        trc = self.sim.tracer
+        span = (trc.begin("gpu.spin", "spin", track=self.track,
+                          addr=hex(vaddr))
+                if trc.enabled else NULL_SPAN)
         polls = 0
         while True:
             value = yield from self.load_u64(vaddr)
             polls += 1
             yield from self.alu(loop_instructions)
             if predicate(value):
+                span.end(polls=polls)
+                if trc.enabled:
+                    trc.metrics.histogram("gpu.spin_polls").observe(polls)
                 return value, polls
             if max_polls is not None and polls >= max_polls:
                 raise GpuError(

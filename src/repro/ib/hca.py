@@ -23,7 +23,7 @@ from ..errors import VerbsError
 from ..memory import AddressRange, MmioWindow
 from ..network import Endpoint, Packet, PacketKind
 from ..pcie import DmaConfig, DmaEngine, PcieFabric, PcieLinkConfig, PciePort
-from ..sim import Mutex, Simulator, Store
+from ..sim import NULL_SPAN, Mutex, Simulator, Store
 from .config import IbConfig
 from .cq import CompletionQueue, Cqe, WcOpcode, WcStatus
 from .mr import MemoryRegion, MrTable
@@ -92,7 +92,7 @@ class Hca:
                           cfg.max_qps * cfg.doorbell_stride,
                           self._on_doorbell)
         for i in range(cfg.processing_contexts):
-            self.sim.process(self._worker_loop(), name=f"{self.name}.pe{i}")
+            self.sim.process(self._worker_loop(i), name=f"{self.name}.pe{i}")
         self.sim.process(self._receive_loop(), name=f"{self.name}.rx")
         return pcie_port
 
@@ -145,6 +145,12 @@ class Hca:
         value = int.from_bytes(data[:8], "little")
         index = value & 0xFFFFFFFF
         self.doorbells += 1
+        trc = self.sim.tracer
+        if trc.enabled:
+            trc.instant("ib", "doorbell", track=f"{self.name}.db",
+                        qp=qp_num, index=index,
+                        rq=bool(value & _RQ_DOORBELL_BIT))
+            trc.metrics.counter("ib.doorbells").inc()
         if value & _RQ_DOORBELL_BIT:
             qp.rq_producer_seen = max(qp.rq_producer_seen, index)
             return
@@ -154,24 +160,33 @@ class Hca:
             qp.sq_producer_seen += 1
 
     # -- WQE execution -------------------------------------------------------------------
-    def _worker_loop(self):
+    def _worker_loop(self, worker: int):
         cfg = self.config
+        track = f"{self.name}.pe{worker}"
         while True:
             job = yield self._jobs.get()
             qp = self.qp(job.qp_num)
             mutex = self._qp_mutex[job.qp_num]
             yield mutex.acquire()  # RC: per-QP ordering
+            trc = self.sim.tracer
+            span = (trc.begin("ib", "wqe-exec", track=track,
+                              qp=job.qp_num, index=job.index)
+                    if trc.enabled else NULL_SPAN)
             try:
                 qp.require_rts()
                 yield self.sim.timeout(cfg.doorbell_to_fetch)
                 raw = yield from self.ctrl_dma.read(qp.sq_slot_addr(job.index),
                                                     WQE_BYTES)
                 wqe = Wqe.decode(raw)
+                span.set(opcode=wqe.opcode.name, bytes=wqe.length)
                 yield self.sim.timeout(cfg.wqe_execute_overhead)
                 yield from self._execute_send_wqe(qp, wqe)
                 qp.sq_consumer += 1
                 self.wqes_executed += 1
+                if trc.enabled:
+                    trc.metrics.counter("ib.wqes_executed").inc()
             finally:
+                span.end()
                 mutex.release()
 
     def _execute_send_wqe(self, qp: QueuePair, wqe: Wqe):
@@ -319,3 +334,8 @@ class Hca:
         slot = cq.hw_claim_slot()
         yield from self.ctrl_dma.write(slot, cqe.encode())
         self.cqes_written += 1
+        trc = self.sim.tracer
+        if trc.enabled:
+            trc.instant("ib", f"cqe:{cqe.opcode.name}", track=f"{self.name}.cq",
+                        qp=cqe.qp_num, wr_id=cqe.wr_id, bytes=cqe.byte_len)
+            trc.metrics.counter("ib.cqes_written").inc()

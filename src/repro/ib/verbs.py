@@ -15,6 +15,7 @@ from ..cpu import HostThread
 from ..errors import VerbsError
 from ..memory import AddressRange
 from ..node import Node
+from ..sim import NULL_SPAN
 from .cq import CQE_BYTES, CompletionQueue, Cqe
 from .hca import Hca, encode_doorbell
 from .qp import QueuePair
@@ -91,10 +92,15 @@ def ibv_post_send(ctx: HostThread, hca: Hca, qp: QueuePair, wqe: Wqe,
     the SQ ring, ring the doorbell.  ``producer_index`` is the caller's SQ
     producer counter *before* this post; returns the new value."""
     qp.require_rts()
+    trc = ctx.sim.tracer
+    span = (trc.begin("ib.api", "ibv_post_send", track=ctx.track,
+                      qp=qp.qp_num, bytes=wqe.length)
+            if trc.enabled else NULL_SPAN)
     yield from ctx.compute(HOST_POST_SEND_INSTRUCTIONS)
     yield from ctx.write(qp.sq_slot_addr(producer_index), wqe.encode())
     yield from ctx.write(hca.doorbell_addr(qp),
                          encode_doorbell(producer_index + 1).to_bytes(8, "little"))
+    span.end()
     return producer_index + 1
 
 
@@ -128,10 +134,16 @@ def ibv_poll_cq(ctx: HostThread, consumer: CqConsumer):
 def ibv_wait_cq(ctx: HostThread, consumer: CqConsumer,
                 max_polls: int | None = 2_000_000):
     """Spin ``ibv_poll_cq`` until a completion arrives."""
+    trc = ctx.sim.tracer
+    span = (trc.begin("ib.api", "ibv_wait_cq", track=ctx.track)
+            if trc.enabled else NULL_SPAN)
     polls = 0
     while True:
         cqe = yield from ibv_poll_cq(ctx, consumer)
         if cqe is not None:
+            span.end(polls=polls + 1)
+            if trc.enabled:
+                trc.metrics.histogram("ib.cq_polls").observe(polls + 1)
             return cqe
         polls += 1
         if max_polls is not None and polls >= max_polls:

@@ -26,6 +26,9 @@ class Endpoint:
 
     def send(self, packet: Packet):
         """Process fragment: transmit a packet toward the peer."""
+        trc = self.link.sim.tracer
+        if trc.enabled:
+            trc.metrics.counter(f"net.node{self.node_id}.sends").inc()
         return self.link.send(self.side, packet)
 
     @property

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import NetworkError
-from ..sim import Resource, Simulator, Store
+from ..sim import NULL_SPAN, Resource, Simulator, Store
 from ..units import GB_PER_S, NS
 from .packet import Packet
 
@@ -50,13 +50,23 @@ class NetLink:
         if endpoint not in (0, 1):
             raise NetworkError(f"bad endpoint {endpoint}")
         tx = self._tx[endpoint]
+        trc = self.sim.tracer
         yield tx.acquire()
+        # Span covers the exclusive serialization window of this direction.
+        span = (trc.begin("net", packet.kind.value,
+                          track=f"{self.name}.tx{endpoint}",
+                          seq=packet.seq, bytes=packet.wire_bytes)
+                if trc.enabled else NULL_SPAN)
         try:
             yield self.sim.timeout(packet.wire_bytes / self.config.bandwidth)
         finally:
+            span.end()
             tx.release()
         self.packets_sent[endpoint] += 1
         self.bytes_sent[endpoint] += packet.wire_bytes
+        if trc.enabled:
+            trc.metrics.counter("net.packets").inc()
+            trc.metrics.counter("net.wire_bytes").inc(packet.wire_bytes)
         # Chain delivery so packets arrive strictly in send-completion order.
         dst_inbox = self.inbox[1 - endpoint]
         prev = self._last_delivery[endpoint]
@@ -65,6 +75,10 @@ class NetLink:
             yield self.sim.timeout(self.config.latency)
             if prev is not None and not prev.processed:
                 yield prev
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "net", f"deliver:{packet.kind.value}",
+                    track=f"{self.name}.rx{1 - endpoint}", seq=packet.seq)
             yield dst_inbox.put(packet)
 
         self._last_delivery[endpoint] = self.sim.process(

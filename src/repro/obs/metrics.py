@@ -1,0 +1,122 @@
+"""Cheap counters and histograms for the observability layer.
+
+A :class:`MetricsRegistry` hands out named :class:`Counter` and
+:class:`Histogram` instances on first use.  Both are deliberately tiny —
+``inc``/``observe`` are a handful of attribute updates — so instrumented
+hot paths can update them per operation when tracing is on.  When tracing
+is off, models hold the shared null registry from :mod:`repro.sim.trace`
+and every call is a no-op.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+
+class Counter:
+    """A monotonically increasing count (TLPs sent, WRs posted, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Summary statistics of an observed value (latencies, sizes, polls).
+
+    Tracks count/sum/min/max plus power-of-two buckets, which is enough to
+    render a distribution without keeping every sample.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        # buckets[e] counts samples with 2**(e-1) < value <= 2**e; e may be
+        # negative (sub-second latencies land well below 2**0).
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value > 0:
+            mantissa, exp = math.frexp(value)   # value = mantissa * 2**exp
+            if mantissa == 0.5:                 # exact power of two: lower bucket
+                exp -= 1
+        else:
+            exp = 0
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Histogram {self.name} n={self.count} mean={self.mean:g} "
+                f"min={self.min:g} max={self.max:g}>")
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first access."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (counters as ints, histograms as summaries)."""
+        out: dict = {}
+        for name, c in sorted(self._counters.items()):
+            out[name] = c.value
+        for name, h in sorted(self._histograms.items()):
+            out[name] = {"count": h.count, "sum": h.total,
+                         "min": h.min if h.count else None,
+                         "max": h.max if h.count else None,
+                         "mean": h.mean}
+        return out
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    def render(self) -> str:
+        """Text table of every metric, alphabetical."""
+        rows: List[Tuple[str, str]] = []
+        for name, c in sorted(self._counters.items()):
+            rows.append((name, f"{c.value:,}"))
+        for name, h in sorted(self._histograms.items()):
+            rows.append((name, f"n={h.count:,} mean={h.mean:.4g} "
+                               f"min={h.min:.4g} max={h.max:.4g}"))
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(name) for name, _ in rows) + 2
+        return "\n".join(name.ljust(width) + value for name, value in rows)

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from ..errors import PcieError
-from ..sim import Resource, Simulator
+from ..sim import NULL_SPAN, Resource, Simulator
 from ..units import KIB
 from .switch import PciePort
 
@@ -43,8 +43,16 @@ class DmaEngine:
         self.name = name
         self.config = config or DmaConfig()
         self.busy = Resource(sim, capacity=self.config.contexts, name=f"{name}.ctx")
+        # Free-list of context ids: each in-flight transfer borrows one so
+        # concurrent transfers land on distinct trace tracks.
+        self._free_ctx = list(range(self.config.contexts - 1, -1, -1))
         self.bytes_moved = 0
         self.transfers = 0
+
+    def _track(self, ctx_id: int) -> str:
+        if self.config.contexts == 1:
+            return self.name
+        return f"{self.name}.ctx{ctx_id}"
 
     def read(self, addr: int, length: int) -> Generator:
         """Gather ``length`` bytes starting at node-physical ``addr``.
@@ -52,6 +60,11 @@ class DmaEngine:
         if length <= 0:
             raise PcieError(f"DMA read of {length} bytes")
         yield self.busy.acquire()
+        ctx_id = self._free_ctx.pop()
+        trc = self.sim.tracer
+        span = (trc.begin("dma", "dma-read", track=self._track(ctx_id),
+                          addr=hex(addr), bytes=length)
+                if trc.enabled else NULL_SPAN)
         try:
             if self.config.setup_time:
                 yield self.sim.timeout(self.config.setup_time)
@@ -65,9 +78,13 @@ class DmaEngine:
                 parts.append(part)
                 offset += step
         finally:
+            span.end()
+            self._free_ctx.append(ctx_id)
             self.busy.release()
         self.bytes_moved += length
         self.transfers += 1
+        if trc.enabled:
+            trc.metrics.counter("dma.bytes_read").inc(length)
         return b"".join(parts)
 
     def write(self, addr: int, data: bytes) -> Generator:
@@ -75,6 +92,11 @@ class DmaEngine:
         if not data:
             raise PcieError("DMA write of zero bytes")
         yield self.busy.acquire()
+        ctx_id = self._free_ctx.pop()
+        trc = self.sim.tracer
+        span = (trc.begin("dma", "dma-write", track=self._track(ctx_id),
+                          addr=hex(addr), bytes=len(data))
+                if trc.enabled else NULL_SPAN)
         try:
             if self.config.setup_time:
                 yield self.sim.timeout(self.config.setup_time)
@@ -85,6 +107,10 @@ class DmaEngine:
                                            stream_total=len(data))
                 offset += step
         finally:
+            span.end()
+            self._free_ctx.append(ctx_id)
             self.busy.release()
         self.bytes_moved += len(data)
         self.transfers += 1
+        if trc.enabled:
+            trc.metrics.counter("dma.bytes_written").inc(len(data))

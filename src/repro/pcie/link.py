@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from ..errors import ConfigError
-from ..sim import Event, Resource, Simulator
+from ..sim import NULL_SPAN, Event, Resource, Simulator
 from ..units import GB_PER_S, NS
 from .tlp import Tlp
 
@@ -57,18 +57,31 @@ class PcieLink:
               bandwidth: float) -> Generator[Event, None, None]:
         """Occupy one direction for the TLP's serialization time, then wait
         out the propagation latency.  Returns at *delivery* time."""
+        up = direction is self._up
+        trc = self.sim.tracer
         yield direction.acquire()
+        # The span covers the serialization window only (the direction is
+        # exclusively held), so spans on one link track never overlap.
+        span = (trc.begin("pcie", str(tlp),
+                          track=f"{self.name}.{'up' if up else 'down'}",
+                          **tlp.trace_attrs())
+                if trc.enabled else NULL_SPAN)
         try:
             yield self.sim.timeout(tlp.wire_bytes / bandwidth)
         finally:
+            span.end()
             direction.release()
-        if direction is self._up:
+        if up:
             self.tlps_up += 1
             self.bytes_up += tlp.length
         else:
             self.tlps_down += 1
             self.bytes_down += tlp.length
         yield self.sim.timeout(self.config.latency)
+        if trc.enabled:
+            m = trc.metrics
+            m.counter(f"pcie.tlps_{'up' if up else 'down'}").inc()
+            m.counter("pcie.wire_bytes").inc(tlp.wire_bytes)
 
     def send_up(self, tlp: Tlp, bandwidth: float | None = None) -> Generator:
         """Device -> root complex.  ``bandwidth`` overrides the link rate

@@ -38,6 +38,11 @@ class Tlp:
         """Bytes occupying the link, including framing overhead."""
         return TLP_OVERHEAD_BYTES + self.length
 
+    def trace_attrs(self) -> dict:
+        """Key/value attributes identifying this TLP on a trace span."""
+        return {"kind": self.kind.value, "addr": hex(self.address),
+                "bytes": self.length, "tag": self.tag}
+
     def __str__(self) -> str:
         return f"{self.kind.value}@{self.address:#x}+{self.length}"
 

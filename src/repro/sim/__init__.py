@@ -14,7 +14,17 @@ from .event import Event, EventState, Timeout
 from .primitives import AllOf, AnyOf
 from .process import Interrupt, Process, join_result
 from .resource import Mutex, Resource, Store
-from .trace import NULL_TRACER, NullTracer, TraceRecord, Tracer
+from .trace import (
+    NULL_METRICS,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    TraceRecord,
+    Tracer,
+    get_default_tracer,
+    set_default_tracer,
+)
 
 __all__ = [
     "Simulator",
@@ -31,6 +41,11 @@ __all__ = [
     "Store",
     "Tracer",
     "NullTracer",
+    "NullSpan",
     "NULL_TRACER",
+    "NULL_SPAN",
+    "NULL_METRICS",
     "TraceRecord",
+    "get_default_tracer",
+    "set_default_tracer",
 ]

@@ -16,6 +16,7 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError
 from .event import Event, Timeout
+from .trace import NULL_TRACER, get_default_tracer
 
 
 class Simulator:
@@ -25,14 +26,28 @@ class Simulator:
     ----------
     now:
         Current simulated time in seconds.
+    tracer:
+        The observability tracer models report to (``self.sim.tracer``).
+        Defaults to the process-wide default (normally the zero-cost
+        :data:`~repro.sim.trace.NULL_TRACER`); install a real one with
+        :meth:`set_tracer` or :func:`repro.sim.trace.set_default_tracer`.
     """
 
-    def __init__(self, trace: Optional[Callable[[float, str], None]] = None) -> None:
+    def __init__(self, trace: Optional[Callable[[float, str], None]] = None,
+                 tracer=None) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq: int = 0
         self._trace = trace
         self._active_processes: int = 0
+        self.tracer = tracer if tracer is not None else get_default_tracer()
+        if self.tracer is not NULL_TRACER:
+            self.tracer.bind(self)
+
+    def set_tracer(self, tracer) -> None:
+        """Install ``tracer`` (binding it to this simulator's clock)."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind(self)
 
     # -- time -----------------------------------------------------------------
     @property

@@ -1,8 +1,20 @@
-"""Lightweight tracing: record (time, category, message) tuples.
+"""Tracing protocol: flat records, the span/metrics interface, null objects.
 
-Models call ``tracer.emit(...)`` at interesting points; tests and examples
-can assert on, or pretty-print, what happened and when.  Tracing is off by
-default (a ``NullTracer``) so the hot paths pay one attribute check.
+Two tracer families implement this protocol:
+
+* :class:`Tracer` (here) — the original flat ``(time, category, message)``
+  recorder, kept for lightweight tests and as the base class,
+* :class:`repro.obs.SpanTracer` — the full observability tracer with
+  hierarchical spans, instants, and a metrics registry.
+
+Every :class:`~repro.sim.engine.Simulator` carries a ``tracer`` attribute
+(default :data:`NULL_TRACER`), so models reach it as ``self.sim.tracer``.
+Tracing is off by default; the hot paths pay one attribute check
+(``tracer.enabled``) plus, at most, a no-op method call on the null objects.
+
+This module deliberately knows nothing about :mod:`repro.obs` — the
+dependency points the other way — but it hosts the *null* implementations
+of the span and metrics interfaces so the default path needs no imports.
 """
 
 from __future__ import annotations
@@ -24,23 +36,120 @@ class TraceRecord:
         return f"[{self.time * 1e6:12.3f}us] {self.category:<12} {self.message}"
 
 
+# -- null span / metrics --------------------------------------------------------
+
+class NullSpan:
+    """The span every disabled (or filtered-out) ``begin`` returns: all
+    operations are no-ops, so instrumented code never branches on whether
+    tracing is live."""
+
+    __slots__ = ()
+
+    def end(self, **attrs) -> None:
+        pass
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class _NullMetric:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry:
+    """Metrics registry that swallows everything."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+NULL_METRICS = NullMetricsRegistry()
+
+
+# -- tracers --------------------------------------------------------------------
+
 class Tracer:
-    """Collects trace records, optionally filtered by category."""
+    """Collects flat trace records, optionally filtered by category and by a
+    ``[min_time, max_time]`` simulated-time window.
+
+    Subclasses (notably :class:`repro.obs.SpanTracer`) extend this with
+    hierarchical spans; the base class accepts the span calls but degrades
+    them to nothing, so a flat tracer can be installed as ``sim.tracer``
+    without breaking instrumented models.
+    """
 
     enabled = True
 
-    def __init__(self, sim: "Simulator",
+    def __init__(self, sim: Optional["Simulator"] = None,
                  categories: Optional[Iterable[str]] = None,
-                 sink: Optional[Callable[[TraceRecord], None]] = None) -> None:
+                 sink: Optional[Callable[[TraceRecord], None]] = None,
+                 min_time: Optional[float] = None,
+                 max_time: Optional[float] = None) -> None:
+        if (min_time is not None and max_time is not None
+                and min_time > max_time):
+            raise ValueError(f"empty trace window [{min_time}, {max_time}]")
         self.sim = sim
         self.categories = set(categories) if categories is not None else None
+        self.min_time = min_time
+        self.max_time = max_time
         self.records: List[TraceRecord] = []
+        self.metrics = NULL_METRICS
         self._sink = sink
 
+    # -- wiring ---------------------------------------------------------------
+    def bind(self, sim: "Simulator") -> None:
+        """Adopt ``sim`` as the clock source.  Called by the simulator when
+        this tracer is installed on it."""
+        self.sim = sim
+
+    def now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    # -- filtering -------------------------------------------------------------
+    def _passes_category(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def _passes_window(self, time: float) -> bool:
+        if self.min_time is not None and time < self.min_time:
+            return False
+        if self.max_time is not None and time > self.max_time:
+            return False
+        return True
+
+    # -- flat records ------------------------------------------------------------
     def emit(self, category: str, message: str) -> None:
-        if self.categories is not None and category not in self.categories:
+        if not self._passes_category(category):
             return
-        rec = TraceRecord(self.sim.now, category, message)
+        time = self.now()
+        if not self._passes_window(time):
+            return
+        rec = TraceRecord(time, category, message)
         self.records.append(rec)
         if self._sink is not None:
             self._sink(rec)
@@ -51,14 +160,39 @@ class Tracer:
     def clear(self) -> None:
         self.records.clear()
 
+    # -- span interface (degraded: flat tracers keep no hierarchy) ---------------
+    def begin(self, category: str, name: str, track: str = "main",
+              **attrs) -> NullSpan:
+        return NULL_SPAN
+
+    def instant(self, category: str, name: str, track: str = "main",
+                **attrs) -> None:
+        self.emit(category, name)
+
 
 class NullTracer:
-    """A tracer that drops everything (the default)."""
+    """A tracer that drops everything (the default).  Shares the full
+    protocol — ``emit``, ``begin``, ``instant``, ``metrics`` — as no-ops."""
 
     enabled = False
     records: List[TraceRecord] = []
+    metrics = NULL_METRICS
+
+    def bind(self, sim: "Simulator") -> None:
+        pass
+
+    def now(self) -> float:
+        return 0.0
 
     def emit(self, category: str, message: str) -> None:
+        pass
+
+    def begin(self, category: str, name: str, track: str = "main",
+              **attrs) -> NullSpan:
+        return NULL_SPAN
+
+    def instant(self, category: str, name: str, track: str = "main",
+                **attrs) -> None:
         pass
 
     def filter(self, category: str) -> List[TraceRecord]:
@@ -69,3 +203,22 @@ class NullTracer:
 
 
 NULL_TRACER = NullTracer()
+
+
+# -- default tracer --------------------------------------------------------------
+# New simulators pick this up at construction, which lets entry points (e.g.
+# ``python -m repro --trace``) trace code paths that build clusters
+# internally without threading a tracer through every call.
+
+_default_tracer = NULL_TRACER
+
+
+def set_default_tracer(tracer) -> None:
+    """Install ``tracer`` as the default for newly created simulators
+    (``None`` restores the null tracer)."""
+    global _default_tracer
+    _default_tracer = tracer if tracer is not None else NULL_TRACER
+
+
+def get_default_tracer():
+    return _default_tracer

@@ -25,8 +25,22 @@ def test_latency_point_units_and_ratio():
     assert p.poll_to_post_ratio == pytest.approx(4.0)
 
 
-def test_latency_point_ratio_nan_without_post_time():
+def test_latency_point_ratio_nan_when_neither_phase_measured():
     p = LatencyPoint(size=64, latency=5e-6)
+    assert math.isnan(p.poll_to_post_ratio)
+
+
+def test_latency_point_ratio_inf_when_only_polling_measured():
+    # Polling took time but no posting time was recorded: the ratio is
+    # unbounded, not undefined (and must not raise ZeroDivisionError).
+    p = LatencyPoint(size=64, latency=5e-6, post_time=0.0, poll_time=3e-6)
+    assert p.poll_to_post_ratio == float("inf")
+
+
+def test_latency_point_ratio_negative_post_time_treated_as_unmeasured():
+    p = LatencyPoint(size=64, latency=5e-6, post_time=-1e-9, poll_time=3e-6)
+    assert p.poll_to_post_ratio == float("inf")
+    p = LatencyPoint(size=64, latency=5e-6, post_time=-1e-9, poll_time=0.0)
     assert math.isnan(p.poll_to_post_ratio)
 
 

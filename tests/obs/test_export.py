@@ -1,0 +1,143 @@
+"""Unit tests for the Chrome-trace / timeline / breakdown exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import LatencyPoint
+from repro.obs import (
+    SpanTracer,
+    chrome_trace_events,
+    phase_breakdown,
+    reconcile_with_point,
+    render_breakdown,
+    render_timeline,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _nested_tracer():
+    clock = FakeClock()
+    trc = SpanTracer(sim=clock)
+    outer = trc.begin("cat", "outer", track="t")
+    clock.now = 1e-6
+    inner = trc.begin("cat", "inner", track="t")
+    clock.now = 2e-6
+    trc.instant("cat", "tick", track="t")
+    clock.now = 3e-6
+    inner.end()
+    clock.now = 4e-6
+    outer.end()
+    return trc
+
+
+def test_chrome_events_pair_and_nest():
+    events = chrome_trace_events(_nested_tracer())
+    validate_chrome_trace(events)  # raises on any structural problem
+    phs = [(e["ph"], e.get("name")) for e in events]
+    assert ("M", "thread_name") in phs
+    # LIFO order on the timeline: outer opens, inner opens, inner closes.
+    timed = [(e["ph"], e["name"]) for e in events if e["ph"] in "BEi"]
+    assert timed == [("B", "outer"), ("B", "inner"), ("i", "tick"),
+                     ("E", "inner"), ("E", "outer")]
+    # Timestamps are microseconds and non-decreasing.
+    ts = [e["ts"] for e in events if e["ph"] in "BEi"]
+    assert ts == sorted(ts) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_zero_duration_span_keeps_be_adjacent():
+    clock = FakeClock()
+    trc = SpanTracer(sim=clock)
+    outer = trc.begin("cat", "outer", track="t")
+    trc.begin("cat", "instantaneous", track="t").end()  # zero duration at t=0
+    clock.now = 1e-6
+    outer.end()
+    events = chrome_trace_events(trc)
+    validate_chrome_trace(events)
+    timed = [(e["ph"], e["name"]) for e in events if e["ph"] in "BE"]
+    assert timed == [("B", "outer"), ("B", "instantaneous"),
+                     ("E", "instantaneous"), ("E", "outer")]
+
+
+def test_validate_rejects_mispaired_and_unclosed():
+    with pytest.raises(ValueError, match="E without B"):
+        validate_chrome_trace([{"ph": "E", "name": "x", "ts": 0, "tid": 1}])
+    with pytest.raises(ValueError, match="unclosed"):
+        validate_chrome_trace([{"ph": "B", "name": "x", "ts": 0, "tid": 1}])
+    with pytest.raises(ValueError, match="mispaired"):
+        validate_chrome_trace([
+            {"ph": "B", "name": "x", "ts": 0, "tid": 1},
+            {"ph": "E", "name": "y", "ts": 1, "tid": 1},
+        ])
+    with pytest.raises(ValueError, match="backwards"):
+        validate_chrome_trace([
+            {"ph": "B", "name": "x", "ts": 5, "tid": 1},
+            {"ph": "E", "name": "x", "ts": 1, "tid": 1},
+        ])
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    trc = _nested_tracer()
+    trc.metrics.counter("c").inc(2)
+    path = tmp_path / "trace.json"
+    doc = write_chrome_trace(trc, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(doc))
+    assert loaded["otherData"]["metrics"]["c"] == 2
+    validate_chrome_trace(loaded["traceEvents"])
+    # Stream variant.
+    buf = io.StringIO()
+    write_chrome_trace(trc, buf)
+    assert json.loads(buf.getvalue())["traceEvents"] == loaded["traceEvents"]
+
+
+def test_render_timeline_orders_and_limits():
+    trc = _nested_tracer()
+    text = render_timeline(trc)
+    lines = text.splitlines()
+    assert len(lines) == 3  # two spans + one instant
+    assert "outer" in lines[0] and "inner" in lines[1] and "tick" in lines[2]
+    assert render_timeline(trc, limit=1).count("\n") == 0
+    assert render_timeline(SpanTracer(sim=FakeClock())) == "(empty trace)"
+
+
+def test_phase_breakdown_and_render():
+    clock = FakeClock()
+    trc = SpanTracer(sim=clock)
+    for dur in (1e-6, 3e-6):
+        span = trc.begin("phase", "wr-generation", track="ping")
+        clock.now += dur
+        span.end()
+    stats = phase_breakdown(trc)
+    assert set(stats) == {"wr-generation"}
+    s = stats["wr-generation"]
+    assert s.count == 2
+    assert s.total == pytest.approx(4e-6)
+    assert s.mean == pytest.approx(2e-6)
+    assert s.min == pytest.approx(1e-6) and s.max == pytest.approx(3e-6)
+    text = render_breakdown(stats)
+    assert "wr-generation" in text and "4.000us" in text
+
+
+def test_reconcile_with_point_tolerance():
+    clock = FakeClock()
+    trc = SpanTracer(sim=clock)
+    for name, dur in (("wr-generation", 2e-6), ("polling", 8e-6)):
+        for _ in range(10):
+            span = trc.begin("phase", name, track="ping")
+            clock.now += dur
+            span.end()
+    point = LatencyPoint(size=64, latency=10e-6, post_time=2e-6, poll_time=8e-6)
+    res = reconcile_with_point(trc, point, iterations=10)
+    assert res["ok"]
+    assert res["phases"]["wr-generation"]["rel_err"] == pytest.approx(0.0)
+    # A point whose timings disagree by >1% must fail.
+    bad = LatencyPoint(size=64, latency=10e-6, post_time=2.5e-6, poll_time=8e-6)
+    assert not reconcile_with_point(trc, bad, iterations=10)["ok"]

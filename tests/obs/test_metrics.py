@@ -1,0 +1,56 @@
+"""Unit tests for counters, histograms, and the registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.sim import NULL_METRICS
+
+
+def test_counter_increments():
+    reg = MetricsRegistry()
+    c = reg.counter("pcie.tlps")
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    assert reg.counter("pcie.tlps") is c  # same instance on re-access
+
+
+def test_histogram_summary_stats():
+    reg = MetricsRegistry()
+    h = reg.histogram("polls")
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.mean == pytest.approx(2.0)
+    assert h.min == 1.0 and h.max == 3.0
+
+
+def test_histogram_power_of_two_buckets():
+    h = MetricsRegistry().histogram("x")
+    # bucket e holds 2**(e-1) < value <= 2**e; exact powers land in their
+    # own bucket, one above lands in the next.
+    h.observe(4.0)      # e=2
+    h.observe(4.0001)   # e=3
+    h.observe(0.25)     # e=-2
+    h.observe(0.0)      # non-positive: e=0 by convention
+    assert h.buckets == {2: 1, 3: 1, -2: 1, 0: 1}
+
+
+def test_snapshot_and_render():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(7)
+    reg.histogram("b").observe(2.0)
+    snap = reg.snapshot()
+    assert snap["a"] == 7
+    assert snap["b"]["count"] == 1 and snap["b"]["mean"] == pytest.approx(2.0)
+    text = reg.render()
+    assert "a" in text and "7" in text and "n=1" in text
+    reg.clear()
+    assert reg.snapshot() == {}
+    assert reg.render() == "(no metrics recorded)"
+
+
+def test_null_metrics_swallow_everything():
+    NULL_METRICS.counter("x").inc(10)
+    NULL_METRICS.histogram("y").observe(1.0)
+    assert NULL_METRICS.snapshot() == {}

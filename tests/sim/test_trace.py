@@ -1,5 +1,7 @@
 """Unit tests for the tracing facility."""
 
+import pytest
+
 from repro.sim import NULL_TRACER, NullTracer, Simulator, TraceRecord, Tracer
 
 
@@ -67,3 +69,52 @@ def test_trace_record_str_format():
     rec = TraceRecord(time=1.5e-6, category="pcie", message="TLP sent")
     s = str(rec)
     assert "1.500us" in s and "pcie" in s and "TLP sent" in s
+
+
+def _emit_at(sim, tracer, times):
+    def body():
+        last = 0.0
+        for t in times:
+            yield sim.timeout(t - last)
+            tracer.emit("cat", f"at-{t}")
+            last = t
+    sim.process(body())
+    sim.run()
+
+
+def test_tracer_time_window_filters_records():
+    sim = Simulator()
+    tracer = Tracer(sim, min_time=1.0, max_time=3.0)
+    _emit_at(sim, tracer, [0.5, 1.0, 2.0, 3.0, 4.0])
+    assert [r.time for r in tracer.records] == [1.0, 2.0, 3.0]
+
+
+def test_tracer_window_is_inclusive_and_half_open_forms():
+    sim = Simulator()
+    lo_only = Tracer(sim, min_time=2.0)
+    hi_only = Tracer(sim, max_time=2.0)
+    for t in (1.0, 2.0, 3.0):
+        sim._now = t  # drive the clock directly; emit() reads sim.now
+        lo_only.emit("c", "m")
+        hi_only.emit("c", "m")
+    assert [r.time for r in lo_only.records] == [2.0, 3.0]
+    assert [r.time for r in hi_only.records] == [1.0, 2.0]
+
+
+def test_tracer_rejects_empty_window():
+    with pytest.raises(ValueError):
+        Tracer(Simulator(), min_time=5.0, max_time=1.0)
+
+
+def test_tracer_sink_sees_only_filtered_records():
+    # The sink must observe exactly what gets recorded: category and
+    # window filters apply before the sink fires, not after.
+    sim = Simulator()
+    seen = []
+    tracer = Tracer(sim, categories={"keep"}, min_time=1.0, max_time=3.0,
+                    sink=seen.append)
+    for t, cat in [(0.5, "keep"), (1.5, "drop"), (2.0, "keep"), (3.5, "keep")]:
+        sim._now = t
+        tracer.emit(cat, f"{cat}@{t}")
+    assert [r.time for r in tracer.records] == [2.0]
+    assert seen == tracer.records
