@@ -15,6 +15,8 @@ import pytest
 from repro.analysis import fig3_polling_ratio
 from repro.units import KIB, MIB
 
+pytestmark = [pytest.mark.quick]
+
 SIZES = [16, 1 * KIB, 64 * KIB, 1 * MIB, 16 * MIB]
 
 

@@ -13,6 +13,8 @@ from repro.ib import (
     post_send_instruction_cost_static_optimized,
 )
 
+pytestmark = [pytest.mark.quick]
+
 
 @pytest.fixture(scope="module")
 def costs():

@@ -8,7 +8,7 @@ EXPERIMENTS.md for the paper-vs-measured comparison of every table and
 figure.
 """
 
-from .cluster import Cluster, build_extoll_cluster, build_ib_cluster
+from .cluster import TOPOLOGIES, Cluster, build_extoll_cluster, build_ib_cluster
 from .node import Node, NodeConfig
 from .sim import Simulator
 
@@ -16,6 +16,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Cluster",
+    "TOPOLOGIES",
     "build_extoll_cluster",
     "build_ib_cluster",
     "Node",

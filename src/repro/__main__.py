@@ -5,7 +5,9 @@ Subcommands:
 * ``report`` (default) — print the full reproduction report
   (``python -m repro [report] [--scale S] [--trace PATH]``),
 * ``trace`` — run one traced ping-pong and export a Chrome trace
-  (``python -m repro trace --mode dev2dev-direct --size 64 --out trace.json``).
+  (``python -m repro trace --mode dev2dev-direct --size 64 --out trace.json``),
+* ``collectives`` — N-node collective sweeps and traced runs
+  (``python -m repro collectives --op all-reduce --nodes 2,4,8``).
 """
 
 import sys
@@ -16,6 +18,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "trace":
         from .obs.cli import main as trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "collectives":
+        from .collectives.cli import main as coll_main
+        return coll_main(argv[1:])
     if argv and argv[0] == "report":
         argv = argv[1:]
     from .analysis.report import main as report_main

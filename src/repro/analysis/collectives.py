@@ -1,0 +1,129 @@
+"""Scaling analysis of the ring collectives (§VIII future-work direction).
+
+Two invariants tie the N-node collectives back to the paper's measured
+2-node primitives:
+
+* **step scaling** — ring all-reduce must complete in exactly ``2*(N-1)``
+  point-to-point steps per rank; all-gather in ``N-1``.  The counts are
+  *measured* (each rank counts its sends), not assumed.
+* **per-step cost** — one all-reduce step is a msglib message of the chunk
+  size: post a put, then detect arrival by polling device memory.  Its cost
+  must stay within a small factor of the 2-node ``dev2dev-pollOnGPU``
+  ping-pong one-way latency at the same size — the collectives add ring
+  pipelining and per-message msglib bookkeeping but no new mechanism, so a
+  large deviation would mean the N-node path costs something the 2-node
+  analysis never measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..cluster import build_extoll_cluster
+from ..collectives import CollectiveMode, build_communicator, run_collective
+from ..core import ExtollMode, run_extoll_pingpong, setup_extoll_connection
+
+#: Node counts the scaling run sweeps.
+SCALING_NODES = (2, 4, 8)
+
+#: Per-message payload bytes used for the comparison.
+SCALING_SIZE = 64
+
+#: Accepted band for (all-reduce per-step latency) / (2-node ping-pong
+#: one-way latency).  A step is put + device-memory poll exactly like a
+#: ping-pong half round trip, but rides the msglib slot protocol (staging
+#: stores, header, credit bookkeeping) and overlaps along the ring, so the
+#: ratio sits above 1 without being allowed to run away.
+STEP_RATIO_BAND = (0.5, 3.0)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Ring all-reduce at one node count vs the 2-node baseline."""
+
+    nodes: int
+    size: int
+    steps: int                # measured sends per rank
+    expected_steps: int       # 2*(N-1)
+    latency: float            # one full all-reduce (seconds)
+    step_latency: float       # latency / steps
+    baseline_one_way: float   # 2-node ping-pong one-way latency (seconds)
+    correct: bool             # numerics checked against exact sums
+
+    @property
+    def step_ratio(self) -> float:
+        return self.step_latency / self.baseline_one_way
+
+    @property
+    def steps_ok(self) -> bool:
+        return self.steps == self.expected_steps
+
+    @property
+    def ratio_ok(self) -> bool:
+        lo, hi = STEP_RATIO_BAND
+        return lo <= self.step_ratio <= hi
+
+    @property
+    def ok(self) -> bool:
+        return self.correct and self.steps_ok and self.ratio_ok
+
+
+def pingpong_baseline(size: int = SCALING_SIZE, iterations: int = 8,
+                      warmup: int = 2) -> float:
+    """The 2-node ``dev2dev-pollOnGPU`` one-way latency at ``size``."""
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, buf_bytes=max(4096, size))
+    point = run_extoll_pingpong(cluster, conn, ExtollMode.POLL_ON_GPU, size,
+                                iterations=iterations, warmup=warmup)
+    return point.latency
+
+
+def allreduce_scaling(node_counts: Sequence[int] = SCALING_NODES,
+                      size: int = SCALING_SIZE,
+                      mode: CollectiveMode = CollectiveMode.POLL_ON_GPU,
+                      topology: str = "auto", iterations: int = 6,
+                      warmup: int = 2) -> Tuple[ScalingPoint, ...]:
+    """Measure ring all-reduce at every node count and pin each point to
+    the 2-node ping-pong baseline."""
+    baseline = pingpong_baseline(size, iterations=iterations, warmup=warmup)
+    points = []
+    for nodes in node_counts:
+        cluster, comm = build_communicator(nodes, size, mode, topology)
+        result = run_collective(cluster, comm, "all-reduce", size,
+                                iterations=iterations, warmup=warmup)
+        points.append(ScalingPoint(
+            nodes=nodes, size=size, steps=result.steps,
+            expected_steps=2 * (nodes - 1),
+            latency=result.point.latency,
+            step_latency=result.point.latency / result.steps,
+            baseline_one_way=baseline, correct=result.correct))
+    return tuple(points)
+
+
+def scaling_report(points: Sequence[ScalingPoint]) -> Dict[str, object]:
+    """Aggregate verdict used by tests and the report."""
+    return {
+        "points": list(points),
+        "steps_ok": all(p.steps_ok for p in points),
+        "numerics_ok": all(p.correct for p in points),
+        "ratio_ok": all(p.ratio_ok for p in points),
+        "ok": all(p.ok for p in points),
+    }
+
+
+def render_scaling(points: Sequence[ScalingPoint]) -> str:
+    title = (f"Ring all-reduce scaling ({points[0].size}B/step) vs 2-node "
+             f"ping-pong" if points else "Ring all-reduce scaling")
+    lines = [title, "=" * len(title)]
+    lines.append("N".rjust(3) + "steps".rjust(8) + "expected".rjust(10)
+                 + "latency".rjust(12) + "per-step".rjust(12)
+                 + "ratio".rjust(8) + "  verdict")
+    for p in points:
+        lines.append(
+            f"{p.nodes}".rjust(3) + f"{p.steps}".rjust(8)
+            + f"{p.expected_steps}".rjust(10)
+            + f"{p.latency * 1e6:10.3f}us" + f"{p.step_latency * 1e6:10.3f}us"
+            + f"{p.step_ratio:8.2f}"
+            + ("   OK" if p.ok else "   FAIL"))
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Ring collective algorithms over :class:`~repro.collectives.comm.RankComm`.
+
+Every algorithm is a generator that runs identically as device code (a
+``ThreadCtx``) or host code (a ``HostThread``) — the mode-specific put/get
+mechanics live entirely behind ``rc.send``/``rc.recv``/``rc.compute``.
+All of them only talk to ring neighbors, and all return
+``(result, steps)`` where ``steps`` counts the point-to-point messages THIS
+rank sent — the quantity the scaling analysis checks (ring all-reduce must
+measure exactly ``2*(N-1)`` steps per rank).
+
+Deadlock freedom: sends are buffered (the msglib slot ring gives ``slots``
+messages of credit per direction), so the uniform send-before-recv order
+used below never blocks on an unposted receive.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from ..errors import BenchmarkError
+
+#: The 8-byte token circulated by :func:`barrier`.
+_TOKEN = struct.pack("<Q", 0xB0)
+
+
+def _pack(chunk: List[float]) -> bytes:
+    return struct.pack(f"<{len(chunk)}d", *chunk)
+
+
+def _unpack(data: bytes) -> List[float]:
+    return list(struct.unpack(f"<{len(data) // 8}d", data))
+
+
+def barrier(ctx, rc) -> int:
+    """Ring token barrier: rank 0 circulates a token around the ring twice.
+
+    After the first sweep rank 0 knows everyone arrived; the second sweep
+    releases everyone.  Returns the steps (sends) this rank performed (2).
+    """
+    steps = 0
+    for _sweep in range(2):
+        if rc.rank == 0:
+            yield from rc.send(ctx, rc.next, _TOKEN)
+            yield from rc.recv(ctx, rc.prev)
+        else:
+            yield from rc.recv(ctx, rc.prev)
+            yield from rc.send(ctx, rc.next, _TOKEN)
+        steps += 1
+    return steps
+
+
+def broadcast(ctx, rc, data: Optional[bytes] = None,
+              root: int = 0) -> Tuple[bytes, int]:
+    """Ring broadcast: the payload is relayed around the ring from ``root``,
+    store-and-forward, ``N-1`` hops end to end (at most one send per rank).
+    """
+    pos = (rc.rank - root) % rc.size
+    steps = 0
+    if pos == 0:
+        if data is None:
+            raise BenchmarkError("broadcast root must supply data")
+        yield from rc.send(ctx, rc.next, data)
+        steps += 1
+    else:
+        data = yield from rc.recv(ctx, rc.prev)
+        if pos != rc.size - 1:      # the last rank has nobody left to feed
+            yield from rc.send(ctx, rc.next, data)
+            steps += 1
+    return data, steps
+
+
+def all_gather(ctx, rc, contribution: bytes) -> Tuple[List[bytes], int]:
+    """Ring all-gather in ``N-1`` steps: each step forwards the piece
+    received in the previous step to ``next`` while receiving a new piece
+    from ``prev``.  Returns the pieces indexed by originating rank."""
+    n = rc.size
+    pieces: List[Optional[bytes]] = [None] * n
+    pieces[rc.rank] = contribution
+    cur = contribution
+    steps = 0
+    for step in range(n - 1):
+        yield from rc.send(ctx, rc.next, cur)
+        cur = yield from rc.recv(ctx, rc.prev)
+        pieces[(rc.rank - 1 - step) % n] = cur
+        steps += 1
+    return pieces, steps
+
+
+def ring_all_reduce(ctx, rc,
+                    values: List[float]) -> Tuple[List[float], int]:
+    """Bandwidth-optimal ring all-reduce (sum) of a float64 vector.
+
+    The vector is split into ``N`` chunks; a reduce-scatter pass (``N-1``
+    steps) leaves each rank with one fully reduced chunk, then an
+    all-gather pass (``N-1`` steps) circulates the reduced chunks — the
+    canonical ``2*(N-1)`` step schedule whose step count the analysis
+    verifies.  Each step moves ``len(values)/N`` elements, so per-step cost
+    is directly comparable to a 2-node ping-pong of the chunk size.
+    """
+    n = rc.size
+    if not values or len(values) % n:
+        raise BenchmarkError(
+            f"all-reduce vector length {len(values)} must be a positive "
+            f"multiple of the {n} ranks")
+    chunk_len = len(values) // n
+    chunks = [list(values[i * chunk_len:(i + 1) * chunk_len])
+              for i in range(n)]
+    steps = 0
+    # Reduce-scatter: after step s, chunk (rank-s-1)%n holds partial sums
+    # of s+2 contributions; after N-1 steps rank r owns the full sum of
+    # chunk (r+1)%n.
+    for s in range(n - 1):
+        send_idx = (rc.rank - s) % n
+        recv_idx = (rc.rank - s - 1) % n
+        yield from rc.send(ctx, rc.next, _pack(chunks[send_idx]))
+        incoming = _unpack((yield from rc.recv(ctx, rc.prev)))
+        yield from rc.compute(ctx, 2 * chunk_len)  # fused add of one chunk
+        chunks[recv_idx] = [a + b for a, b in zip(chunks[recv_idx], incoming)]
+        steps += 1
+    # All-gather of the reduced chunks, starting from the one this rank owns.
+    for s in range(n - 1):
+        send_idx = (rc.rank + 1 - s) % n
+        recv_idx = (rc.rank - s) % n
+        yield from rc.send(ctx, rc.next, _pack(chunks[send_idx]))
+        chunks[recv_idx] = _unpack((yield from rc.recv(ctx, rc.prev)))
+        steps += 1
+    return [v for chunk in chunks for v in chunk], steps
+
+
+def halo_exchange(ctx, rc, interior: bytes, halo_bytes: int,
+                  periodic: bool = True):
+    """1-D domain halo exchange with both ring neighbors.
+
+    Sends the first/last ``halo_bytes`` of ``interior`` to ``prev``/``next``
+    and receives the matching ghost regions.  ``periodic=False`` drops the
+    exchange across the domain boundary (ranks 0 and N-1 keep a ``None``
+    ghost on their outer side).  Returns ``((left_ghost, right_ghost),
+    steps)``.
+
+    Every rank sends its right edge before its left edge; with in-order
+    channels this makes the first arrival from ``prev`` the left ghost even
+    when N=2 collapses both neighbors onto one peer.
+    """
+    if halo_bytes <= 0 or len(interior) < 2 * halo_bytes:
+        raise BenchmarkError(
+            f"interior of {len(interior)} bytes cannot shed two "
+            f"{halo_bytes}-byte halos")
+    has_prev = periodic or rc.rank > 0
+    has_next = periodic or rc.rank < rc.size - 1
+    steps = 0
+    if has_next:
+        yield from rc.send(ctx, rc.next, interior[-halo_bytes:])
+        steps += 1
+    if has_prev:
+        yield from rc.send(ctx, rc.prev, interior[:halo_bytes])
+        steps += 1
+    left_ghost = right_ghost = None
+    if has_prev:
+        left_ghost = yield from rc.recv(ctx, rc.prev)
+    if has_next:
+        right_ghost = yield from rc.recv(ctx, rc.next)
+    return (left_ghost, right_ghost), steps

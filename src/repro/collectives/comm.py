@@ -1,0 +1,267 @@
+"""Communicators: ring channels plus mode-dispatched point-to-point ops.
+
+A :class:`Communicator` owns one :class:`~repro.core.msglib.Channel` per
+ring edge of an N-node cluster (channel ``k`` connects ranks ``k`` and
+``k+1 (mod N)``, pinned to port id ``k`` on both NICs — completer
+notifications are routed by the port id the put descriptor carries, so both
+ends of a channel must open the SAME id).  Every ring algorithm in
+:mod:`repro.collectives.algorithms` only ever talks to its ring neighbors,
+so these N channels are all the connectivity any of them needs, on any of
+the fabric topologies (``pair``/``ring``/``full``/``switch``).
+
+Each rank drives its channels through a :class:`RankComm`, whose ``send`` /
+``recv`` generators dispatch on the :class:`CollectiveMode`:
+
+* ``dev2dev-pollOnGPU`` — device threads post puts and spin on headers in
+  device memory; zero notifications (the §VI msglib design).
+* ``dev2dev-direct``    — device threads post notified puts and poll the
+  requester/completer queues in host memory (§III-C), one PCIe round trip
+  per poll.
+* ``hostControlled``    — host threads drive the NIC with the §III-B API;
+  flow-control state lives in host memory so the CPUs poll out of cache.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+from ..cluster import Cluster
+from ..errors import BenchmarkError
+from ..extoll import (
+    NotificationCursor,
+    NotifyFlags,
+    RmaOp,
+    RmaWorkRequest,
+    rma_post,
+    rma_wait_notification,
+)
+from ..core.gpu_rma import gpu_rma_wait_notification
+from ..core.msglib import (
+    _HEADER_BYTES,
+    _LEN_MASK,
+    _SEQ_SHIFT,
+    Channel,
+    ChannelEnd,
+    create_channel_between,
+    gpu_recv,
+    gpu_recv_ready,
+    gpu_send,
+)
+
+_NOTIFIED = NotifyFlags.REQUESTER | NotifyFlags.COMPLETER
+
+
+class CollectiveMode(enum.Enum):
+    """Who drives the NIC and where completion is detected."""
+
+    POLL_ON_GPU = "dev2dev-pollOnGPU"
+    DIRECT = "dev2dev-direct"
+    HOST_CONTROLLED = "hostControlled"
+
+    @property
+    def host_driven(self) -> bool:
+        return self is CollectiveMode.HOST_CONTROLLED
+
+
+def collective_mode(name: str) -> CollectiveMode:
+    for mode in CollectiveMode:
+        if mode.value == name:
+            return mode
+    valid = ", ".join(m.value for m in CollectiveMode)
+    raise BenchmarkError(f"unknown collective mode {name!r} "
+                         f"(choose from: {valid})")
+
+
+class Communicator:
+    """N ranks (one per cluster node) wired with ring channels."""
+
+    def __init__(self, cluster: Cluster,
+                 mode: CollectiveMode = CollectiveMode.POLL_ON_GPU,
+                 slot_size: int = 256, slots: int = 16) -> None:
+        self.cluster = cluster
+        self.mode = mode
+        self.size = len(cluster)
+        if self.size < 2:
+            raise BenchmarkError("a communicator needs at least 2 ranks")
+        self.slot_size = slot_size
+        self._channels: Dict[Tuple[int, int], Channel] = {}
+        # Two nodes share ONE bidirectional channel (a 2-ring would lay a
+        # duplicate channel over the same pair).
+        if self.size == 2:
+            edges = [(0, 1)]
+        else:
+            edges = [(k, (k + 1) % self.size) for k in range(self.size)]
+        for port_id, (i, j) in enumerate(edges):
+            self._channels[(min(i, j), max(i, j))] = create_channel_between(
+                cluster, cluster.node(i), cluster.node(j),
+                slot_size=slot_size, slots=slots, port_id=port_id,
+                map_notifications=(mode is CollectiveMode.DIRECT),
+                control_space="host" if mode.host_driven else "gpu")
+        self.ranks = [RankComm(self, r) for r in range(self.size)]
+
+    def channel(self, a: int, b: int) -> Channel:
+        try:
+            return self._channels[(min(a, b), max(a, b))]
+        except KeyError:
+            raise BenchmarkError(
+                f"ranks {a} and {b} are not ring neighbors "
+                f"(size {self.size}); ring collectives only wire "
+                f"rank k <-> k+1") from None
+
+    def launch(self, body, *extra) -> List:
+        """Start ``body(ctx, rank_comm, *extra)`` on every rank — as a
+        device kernel for the GPU-driven modes, as a host thread for
+        ``hostControlled`` — and return the completion handles."""
+        handles = []
+        for rc in self.ranks:
+            if self.mode.host_driven:
+                def host_body(ctx, rc=rc):
+                    yield from body(ctx, rc, *extra)
+                handles.append(rc.node.cpu.spawn(
+                    host_body, name=f"coll-rank{rc.rank}"))
+            else:
+                handles.append(rc.node.gpu.launch(body, args=(rc,) + extra))
+        return handles
+
+
+class RankComm:
+    """One rank's view of the communicator: neighbor ids plus mode-correct
+    ``send``/``recv``/``compute`` generators for device or host code."""
+
+    def __init__(self, comm: Communicator, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        self.size = comm.size
+        self.node = comm.cluster.node(rank)
+        self.next = (rank + 1) % self.size
+        self.prev = (rank - 1) % self.size
+        # One persistent cursor per queue: notification read pointers are
+        # hardware state that survives across operations.
+        self._req_cursors: Dict[int, NotificationCursor] = {}
+        self._cmpl_cursors: Dict[int, NotificationCursor] = {}
+
+    @property
+    def mode(self) -> CollectiveMode:
+        return self.comm.mode
+
+    # -- channel plumbing --------------------------------------------------------
+    def send_end(self, peer: int) -> ChannelEnd:
+        return self.comm.channel(self.rank, peer).end_for_sender(self.rank)
+
+    def recv_end(self, peer: int) -> ChannelEnd:
+        return self.comm.channel(self.rank, peer).end_for_receiver(self.rank)
+
+    def _req_cursor(self, peer: int) -> NotificationCursor:
+        cur = self._req_cursors.get(peer)
+        if cur is None:
+            cur = self._req_cursors[peer] = NotificationCursor(
+                self.send_end(peer).port.requester_queue)
+        return cur
+
+    def _cmpl_cursor(self, peer: int) -> NotificationCursor:
+        # Arrivals from ``peer`` notify the completer queue of *this* node's
+        # port on the shared channel (puts carry the channel's port id).
+        cur = self._cmpl_cursors.get(peer)
+        if cur is None:
+            cur = self._cmpl_cursors[peer] = NotificationCursor(
+                self.send_end(peer).port.completer_queue)
+        return cur
+
+    # -- mode-dispatched primitives ----------------------------------------------
+    def compute(self, ctx, amount: int):
+        """Charge ``amount`` instructions of local arithmetic (reductions)."""
+        if self.mode.host_driven:
+            yield from ctx.compute(amount)
+        else:
+            yield from ctx.alu(amount)
+
+    def send(self, ctx, peer: int, data: bytes):
+        """Send one message to a ring neighbor.
+
+        ``pollOnGPU`` returns as soon as the put is posted (credit
+        backpressure only); ``direct`` and ``hostControlled`` additionally
+        wait for the requester notification, so completion of the local
+        send is known before the next algorithm step.
+        """
+        end = self.send_end(peer)
+        if self.mode is CollectiveMode.POLL_ON_GPU:
+            yield from gpu_send(ctx, end, data)
+        elif self.mode is CollectiveMode.DIRECT:
+            yield from gpu_send(ctx, end, data, flags=_NOTIFIED)
+            yield from gpu_rma_wait_notification(ctx, self._req_cursor(peer))
+        else:
+            yield from self._host_send(ctx, end, peer, data)
+
+    def recv(self, ctx, peer: int):
+        """Receive the next message from a ring neighbor; returns bytes."""
+        end = self.recv_end(peer)
+        reverse = self.send_end(peer)
+        if self.mode is CollectiveMode.POLL_ON_GPU:
+            return (yield from gpu_recv(ctx, end, reverse))
+        if self.mode is CollectiveMode.DIRECT:
+            yield from gpu_rma_wait_notification(ctx, self._cmpl_cursor(peer))
+            return (yield from gpu_recv_ready(ctx, end, reverse))
+        return (yield from self._host_recv(ctx, end, reverse, peer))
+
+    # -- hostControlled implementation --------------------------------------------
+    # The CPU runs the §III-B librma API over the same slot rings.  Payloads
+    # stay in device memory end to end (GPUDirect); the staging/drain below
+    # is functional — the producing/consuming device kernels are represented
+    # by the explicit ``compute`` charges, the CPU only assembles
+    # descriptors and polls notifications, exactly the paper's
+    # hostControlled division of labor.
+
+    def _host_send(self, ctx, end: ChannelEnd, peer: int, data: bytes):
+        if len(data) > end.payload_capacity:
+            raise BenchmarkError(
+                f"message of {len(data)} bytes exceeds slot payload "
+                f"{end.payload_capacity}")
+        seq = end.next_seq
+        if seq - 1 >= end.slots:
+            min_credit = seq - end.slots
+            yield from ctx.spin_until_u64(end.credit_word.base,
+                                          lambda v, m=min_credit: v >= m)
+        stage = end.staging.base + end.slot_offset(seq)
+        gpu = self.node.gpu
+        padded = data + bytes(-len(data) % 8)
+        if padded:
+            gpu.dram.write(stage, padded)
+        gpu.dram.write_u64(stage + end.slot_size - _HEADER_BYTES,
+                           (seq << _SEQ_SHIFT) | len(data))
+        yield from ctx.compute(4 + len(data) // 8)  # kernel producing the slot
+        wr = RmaWorkRequest(
+            op=RmaOp.PUT, port=end.port_id, dst_node=end.dst_node_id,
+            src_nla=end.staging_nla.base + end.slot_offset(seq),
+            dst_nla=end.ring_nla.base + end.slot_offset(seq),
+            size=end.slot_size, flags=_NOTIFIED)
+        yield from rma_post(ctx, end.page_addr, wr)
+        yield from rma_wait_notification(ctx, self._req_cursor(peer))
+        end.next_seq += 1
+
+    def _host_recv(self, ctx, end: ChannelEnd, reverse: ChannelEnd,
+                   peer: int):
+        yield from rma_wait_notification(ctx, self._cmpl_cursor(peer))
+        seq = end.consumed + 1
+        gpu = self.node.gpu
+        slot = end.ring.base + end.slot_offset(seq)
+        header = gpu.dram.read_u64(slot + end.slot_size - _HEADER_BYTES)
+        if (header >> _SEQ_SHIFT) != seq:
+            raise BenchmarkError(
+                f"host recv: slot carries seq {header >> _SEQ_SHIFT}, "
+                f"expected {seq}")
+        length = header & _LEN_MASK
+        data = bytes(gpu.dram.read(slot, length)) if length else b""
+        yield from ctx.compute(4 + length // 8)  # kernel draining the slot
+        end.consumed = seq
+        if end.consumed - end.credits_returned >= max(1, end.slots // 2):
+            yield from ctx.write_u64(end.credit_staging.base, end.consumed)
+            credit_wr = RmaWorkRequest(
+                op=RmaOp.PUT, port=reverse.port_id,
+                dst_node=reverse.dst_node_id,
+                src_nla=end.credit_staging_nla.base,
+                dst_nla=end.credit_word_nla.base, size=8,
+                flags=NotifyFlags.NONE)
+            yield from rma_post(ctx, reverse.page_addr, credit_wr)
+            end.credits_returned = end.consumed
+        return data

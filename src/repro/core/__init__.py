@@ -13,7 +13,15 @@ from .future import (
     run_future_extoll_pingpong,
     setup_future_extoll_connection,
 )
-from .msglib import Channel, ChannelEnd, create_channel, gpu_recv, gpu_send
+from .msglib import (
+    Channel,
+    ChannelEnd,
+    create_channel,
+    create_channel_between,
+    gpu_recv,
+    gpu_recv_ready,
+    gpu_send,
+)
 from .gpu_rma import (
     GpuNotificationCursor,
     gpu_rma_poll_last_element,
@@ -57,7 +65,8 @@ __all__ = [
     "ExtollMode", "IbMode", "RateMethod", "FabricKind",
     "gpu_rma_post_wide", "run_future_extoll_pingpong",
     "setup_future_extoll_connection",
-    "Channel", "ChannelEnd", "create_channel", "gpu_send", "gpu_recv",
+    "Channel", "ChannelEnd", "create_channel", "create_channel_between",
+    "gpu_send", "gpu_recv", "gpu_recv_ready",
     "GpuNotificationCursor", "gpu_rma_post", "gpu_rma_wait_notification",
     "gpu_rma_poll_last_element",
     "GpuCqConsumer", "gpu_post_send", "gpu_post_recv", "gpu_poll_cq",

@@ -23,6 +23,7 @@ Messages up to ``slot_size - 8`` bytes travel in one slot.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
 
 from ..cluster import Cluster
 from ..errors import BenchmarkError
@@ -30,6 +31,10 @@ from ..extoll import NotifyFlags, RmaOp, RmaWorkRequest
 from ..gpu import ThreadCtx
 from ..memory import AddressRange
 from .future import gpu_rma_post_wide
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..extoll import RmaPort
+    from ..node import Node
 
 _HEADER_BYTES = 8
 _SEQ_SHIFT = 16
@@ -68,6 +73,9 @@ class ChannelEnd:
     next_seq: int = 1              # sender: next message sequence number
     consumed: int = 0              # receiver: messages taken out of the ring
     credits_returned: int = 0      # receiver: last credit value put back
+    # The sender-side RMA port object (its notification queues serve the
+    # notified send/recv variants used by repro.collectives).
+    port: Optional["RmaPort"] = None
 
     @property
     def payload_capacity(self) -> int:
@@ -91,52 +99,97 @@ class Channel:
         return self.a_to_b if node_id == self.a_to_b.dst_node_id else self.b_to_a
 
 
-def create_channel(cluster: Cluster, slot_size: int = 256,
-                   slots: int = 16) -> Channel:
-    """Host-side setup: allocate rings/staging/credit words, register them,
-    open a port pair, map everything the device code needs."""
+def create_channel_between(cluster: Cluster, src: "Node", dst: "Node",
+                           slot_size: int = 256, slots: int = 16,
+                           port_id: Optional[int] = None,
+                           map_notifications: bool = False,
+                           control_space: str = "gpu") -> Channel:
+    """Host-side setup of a bidirectional channel between two arbitrary
+    nodes: allocate rings/staging/credit words, register them, open a port
+    pair, map everything the device code needs.
+
+    ``port_id`` pins the SAME id on both NICs — required when a cluster
+    carries several channels, because completer notifications are routed by
+    the port id the put descriptor carries.
+
+    ``map_notifications`` additionally maps each port's requester/completer
+    queues into its GPU's address space, enabling the notification-driven
+    (``dev2dev-direct``) send/recv variants of :mod:`repro.collectives`.
+
+    ``control_space`` places the flow-control state (credit word + credit
+    staging): ``"gpu"`` keeps the sender's polling in device memory (the
+    §VI design); ``"hostControlled"`` collectives pass ``"host"`` so the
+    driving CPUs poll credits out of their own cache.
+    """
     if slot_size <= _HEADER_BYTES or slot_size % 8:
         raise BenchmarkError(
             f"slot_size must be a multiple of 8 and > {_HEADER_BYTES}")
     if slots < 2:
         raise BenchmarkError("need at least 2 slots for flow control")
+    if control_space not in ("gpu", "host"):
+        raise BenchmarkError(f"bad control space {control_space!r}")
 
-    ports = [cluster.a.nic.open_port(), cluster.b.nic.open_port()]
+    ports = [src.nic.open_port(port_id), dst.nic.open_port(port_id)]
+    if ports[0].port_id != ports[1].port_id:
+        raise BenchmarkError(
+            f"channel port ids diverged ({ports[0].port_id} vs "
+            f"{ports[1].port_id}); pin port_id explicitly")
     ends = []
-    for src, dst, port in ((cluster.a, cluster.b, ports[0]),
-                           (cluster.b, cluster.a, ports[1])):
+    for end_src, end_dst, port in ((src, dst, ports[0]),
+                                   (dst, src, ports[1])):
         # Staging mirrors the ring depth: slot for seq is reused only after
         # the flow-control credit proves the receiver consumed seq-slots,
         # which in turn proves the NIC finished its DMA read long before.
-        staging = src.gpu_malloc(slot_size * slots)
-        credit = src.gpu_malloc(8)
-        credit_staging = dst.gpu_malloc(8)  # receiver-side scratch
-        ring = dst.gpu_malloc(slot_size * slots)
-        dst.gpu.dram.fill(ring.base, ring.size, 0)
-        src.gpu.dram.write_u64(credit.base, 0)
-        src.gpu.map_mmio(AddressRange(port.page_addr, 4096))
+        staging = end_src.gpu_malloc(slot_size * slots)
+        if control_space == "gpu":
+            credit = end_src.gpu_malloc(8)
+            credit_staging = end_dst.gpu_malloc(8)  # receiver-side scratch
+            end_src.gpu.dram.write_u64(credit.base, 0)
+        else:
+            credit = end_src.host_malloc(8)
+            credit_staging = end_dst.host_malloc(8)
+            end_src.host_mem.write_u64(credit.base, 0)
+        ring = end_dst.gpu_malloc(slot_size * slots)
+        end_dst.gpu.dram.fill(ring.base, ring.size, 0)
+        end_src.gpu.map_mmio(AddressRange(port.page_addr, 4096))
+        if control_space == "host":
+            end_src.gpu.map_host_memory(credit)
+        if map_notifications:
+            for q in (port.requester_queue, port.completer_queue):
+                end_src.gpu.map_host_memory(q.range)
         ends.append(ChannelEnd(
-            src_node_id=src.node_id, dst_node_id=dst.node_id,
+            src_node_id=end_src.node_id, dst_node_id=end_dst.node_id,
             port_id=port.port_id, page_addr=port.page_addr,
-            staging=staging, staging_nla=src.nic.register_memory(staging),
+            staging=staging, staging_nla=end_src.nic.register_memory(staging),
             credit_word=credit,
-            credit_word_nla=src.nic.register_memory(credit),
+            credit_word_nla=end_src.nic.register_memory(credit),
             credit_staging=credit_staging,
-            credit_staging_nla=dst.nic.register_memory(credit_staging),
-            ring=ring, ring_nla=dst.nic.register_memory(ring),
+            credit_staging_nla=end_dst.nic.register_memory(credit_staging),
+            ring=ring, ring_nla=end_dst.nic.register_memory(ring),
             slot_size=slot_size, slots=slots,
+            port=port,
         ))
     return Channel(*ends)
 
 
+def create_channel(cluster: Cluster, slot_size: int = 256,
+                   slots: int = 16) -> Channel:
+    """The two-node convenience wrapper: a channel between the paper pair."""
+    return create_channel_between(cluster, cluster.a, cluster.b,
+                                  slot_size=slot_size, slots=slots)
+
+
 # --- device-side API --------------------------------------------------------------
 
-def gpu_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes):
+def gpu_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes,
+             flags: NotifyFlags = NotifyFlags.NONE):
     """Send one message (device code, sender side).
 
     Blocks (spinning on the local credit word, an L2 hit) while the remote
     ring is full; then stages payload+header and posts a single put covering
-    the whole slot.
+    the whole slot.  ``flags`` optionally requests requester/completer
+    notifications for the put (the collectives' ``dev2dev-direct`` variant);
+    the default keeps the §VI design of no notifications at all.
     """
     if len(data) > end.payload_capacity:
         raise BenchmarkError(
@@ -164,7 +217,7 @@ def gpu_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes):
         op=RmaOp.PUT, port=end.port_id, dst_node=end.dst_node_id,
         src_nla=end.staging_nla.base + end.slot_offset(seq),
         dst_nla=end.ring_nla.base + end.slot_offset(seq),
-        size=end.slot_size, flags=NotifyFlags.NONE)
+        size=end.slot_size, flags=flags)
     yield from gpu_rma_post_wide(ctx, end.page_addr, wr)
     end.next_seq += 1
 
@@ -180,6 +233,34 @@ def gpu_recv(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd):
     header_addr = slot_base + end.slot_size - _HEADER_BYTES
     header, _polls = yield from ctx.spin_until_u64(
         header_addr, lambda v, s=seq: (v >> _SEQ_SHIFT) == s)
+    data = yield from _consume_slot(ctx, end, reverse, seq, header)
+    return data
+
+
+def gpu_recv_ready(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd):
+    """Consume the next message whose arrival is already proven (device
+    code, receiver side).
+
+    The notification-driven (``dev2dev-direct``) receive path: after the
+    completer notification lands there is nothing left to poll — the header
+    is read once from device memory and the slot is drained.  ``reverse``
+    serves credit returns exactly as in :func:`gpu_recv`.
+    """
+    seq = end.consumed + 1
+    slot_base = end.ring.base + end.slot_offset(seq)
+    header = yield from ctx.load_u64(slot_base + end.slot_size - _HEADER_BYTES)
+    if (header >> _SEQ_SHIFT) != seq:
+        raise BenchmarkError(
+            f"gpu_recv_ready: slot carries seq {header >> _SEQ_SHIFT}, "
+            f"expected {seq} (arrival not proven?)")
+    data = yield from _consume_slot(ctx, end, reverse, seq, header)
+    return data
+
+
+def _consume_slot(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd,
+                  seq: int, header: int):
+    """Drain one arrived slot and return credits when due."""
+    slot_base = end.ring.base + end.slot_offset(seq)
     length = header & _LEN_MASK
     data = b""
     offset = 0

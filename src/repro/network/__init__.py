@@ -1,12 +1,13 @@
-"""Network model: packets, in-order links, two-node fabric."""
+"""Network model: packets, in-order links, N-node routed fabric."""
 
-from .fabric import Endpoint, NetworkFabric
+from .fabric import Endpoint, NetworkFabric, RouterEndpoint
 from .link import NetLink, NetLinkConfig
 from .packet import Packet, PacketKind
 
 __all__ = [
     "Endpoint",
     "NetworkFabric",
+    "RouterEndpoint",
     "NetLink",
     "NetLinkConfig",
     "Packet",
