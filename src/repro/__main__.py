@@ -7,7 +7,9 @@ Subcommands:
 * ``trace`` — run one traced ping-pong and export a Chrome trace
   (``python -m repro trace --mode dev2dev-direct --size 64 --out trace.json``),
 * ``collectives`` — N-node collective sweeps and traced runs
-  (``python -m repro collectives --op all-reduce --nodes 2,4,8``).
+  (``python -m repro collectives --op all-reduce --nodes 2,4,8``),
+* ``faults`` — chaos sweeps under deterministic fault injection
+  (``python -m repro faults --loss 0,0.01,0.05 --mode all``).
 """
 
 import sys
@@ -21,6 +23,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "collectives":
         from .collectives.cli import main as coll_main
         return coll_main(argv[1:])
+    if argv and argv[0] == "faults":
+        from .faults.cli import main as faults_main
+        return faults_main(argv[1:])
     if argv and argv[0] == "report":
         argv = argv[1:]
     from .analysis.report import main as report_main

@@ -84,9 +84,13 @@ def build_communicator(num_nodes: int, size: int,
                        mode: CollectiveMode = CollectiveMode.POLL_ON_GPU,
                        topology: str = "auto", slots: int = 16,
                        sim: Optional[Simulator] = None,
+                       reliable: bool = False,
+                       reliability_config=None,
                        ) -> Tuple[Cluster, Communicator]:
     """An EXTOLL cluster plus a ring communicator whose slots fit ``size``-
-    byte payloads."""
+    byte payloads.  ``reliable`` arms the retransmission engines of
+    :mod:`repro.faults` on every channel (required to survive an attached
+    :class:`~repro.faults.FaultPlan`)."""
     if size < 8 or size % 8:
         raise BenchmarkError(
             f"collective payload size must be a positive multiple of 8, "
@@ -94,7 +98,9 @@ def build_communicator(num_nodes: int, size: int,
     cluster = build_extoll_cluster(sim=sim, num_nodes=num_nodes,
                                    topology=topology)
     slot_size = max(64, _round8(size) + 8)
-    comm = Communicator(cluster, mode, slot_size=slot_size, slots=slots)
+    comm = Communicator(cluster, mode, slot_size=slot_size, slots=slots,
+                        reliable=reliable,
+                        reliability_config=reliability_config)
     return cluster, comm
 
 

@@ -78,14 +78,22 @@ class Communicator:
 
     def __init__(self, cluster: Cluster,
                  mode: CollectiveMode = CollectiveMode.POLL_ON_GPU,
-                 slot_size: int = 256, slots: int = 16) -> None:
+                 slot_size: int = 256, slots: int = 16,
+                 reliable: bool = False, reliability_config=None) -> None:
         self.cluster = cluster
         self.mode = mode
         self.size = len(cluster)
         if self.size < 2:
             raise BenchmarkError("a communicator needs at least 2 ranks")
         self.slot_size = slot_size
+        self.reliable = reliable
         self._channels: Dict[Tuple[int, int], Channel] = {}
+        # Replayed puts must re-arm the receive path: both notified modes
+        # (direct and hostControlled) wait on completer notifications, so
+        # their retransmissions carry the COMPLETER flag; pollOnGPU spins on
+        # the slot header and replays stay notification-free.
+        replay_flags = (NotifyFlags.NONE if mode is CollectiveMode.POLL_ON_GPU
+                        else NotifyFlags.COMPLETER)
         # Two nodes share ONE bidirectional channel (a 2-ring would lay a
         # duplicate channel over the same pair).
         if self.size == 2:
@@ -97,8 +105,31 @@ class Communicator:
                 cluster, cluster.node(i), cluster.node(j),
                 slot_size=slot_size, slots=slots, port_id=port_id,
                 map_notifications=(mode is CollectiveMode.DIRECT),
-                control_space="host" if mode.host_driven else "gpu")
+                control_space="host" if mode.host_driven else "gpu",
+                reliable=reliable, reliability_config=reliability_config,
+                replay_flags=replay_flags)
         self.ranks = [RankComm(self, r) for r in range(self.size)]
+
+    @property
+    def reliability_engines(self) -> List:
+        """Every direction's ChannelReliability engine (empty when the
+        communicator was built without ``reliable=True``)."""
+        out = []
+        for _, channel in sorted(self._channels.items()):
+            for end in (channel.a_to_b, channel.b_to_a):
+                if end.reliability is not None:
+                    out.append(end.reliability)
+        return out
+
+    @property
+    def retransmits(self) -> int:
+        return sum(e.retransmits for e in self.reliability_engines)
+
+    def check_reliability_errors(self) -> None:
+        """Raise the first RetryExhaustedError any engine recorded."""
+        for engine in self.reliability_engines:
+            if engine.error is not None:
+                raise engine.error
 
     def channel(self, a: int, b: int) -> Channel:
         try:
@@ -201,6 +232,11 @@ class RankComm:
             return (yield from gpu_recv(ctx, end, reverse))
         if self.mode is CollectiveMode.DIRECT:
             yield from gpu_rma_wait_notification(ctx, self._cmpl_cursor(peer))
+            if self.comm.reliable:
+                # Under faults a completer notification may belong to a
+                # duplicate (replayed) put, so it no longer proves THIS
+                # message arrived — fall back to spinning on the header.
+                return (yield from gpu_recv(ctx, end, reverse))
             return (yield from gpu_recv_ready(ctx, end, reverse))
         return (yield from self._host_recv(ctx, end, reverse, peer))
 
@@ -238,6 +274,8 @@ class RankComm:
         yield from rma_post(ctx, end.page_addr, wr)
         yield from rma_wait_notification(ctx, self._req_cursor(peer))
         end.next_seq += 1
+        if end.reliability is not None:
+            end.reliability.note_send(seq)
 
     def _host_recv(self, ctx, end: ChannelEnd, reverse: ChannelEnd,
                    peer: int):
@@ -246,15 +284,21 @@ class RankComm:
         gpu = self.node.gpu
         slot = end.ring.base + end.slot_offset(seq)
         header = gpu.dram.read_u64(slot + end.slot_size - _HEADER_BYTES)
-        if (header >> _SEQ_SHIFT) != seq:
-            raise BenchmarkError(
-                f"host recv: slot carries seq {header >> _SEQ_SHIFT}, "
-                f"expected {seq}")
+        while (header >> _SEQ_SHIFT) != seq:
+            if not self.comm.reliable:
+                raise BenchmarkError(
+                    f"host recv: slot carries seq {header >> _SEQ_SHIFT}, "
+                    f"expected {seq}")
+            # Under faults the notification may belong to a duplicate
+            # (replayed) put; wait for the real message to land.
+            yield from ctx.sleep(2e-6)
+            header = gpu.dram.read_u64(slot + end.slot_size - _HEADER_BYTES)
         length = header & _LEN_MASK
         data = bytes(gpu.dram.read(slot, length)) if length else b""
         yield from ctx.compute(4 + length // 8)  # kernel draining the slot
         end.consumed = seq
-        if end.consumed - end.credits_returned >= max(1, end.slots // 2):
+        if (end.consumed - end.credits_returned
+                >= (end.credit_interval or max(1, end.slots // 2))):
             yield from ctx.write_u64(end.credit_staging.base, end.consumed)
             credit_wr = RmaWorkRequest(
                 op=RmaOp.PUT, port=reverse.port_id,

@@ -73,6 +73,13 @@ class ChannelEnd:
     next_seq: int = 1              # sender: next message sequence number
     consumed: int = 0              # receiver: messages taken out of the ring
     credits_returned: int = 0      # receiver: last credit value put back
+    # Flow control cadence: credits go back every this-many consumed
+    # messages.  slots//2 keeps control traffic minimal (§VI-3); reliable
+    # channels use 1 so the credit word doubles as a cumulative ACK.
+    credit_interval: int = 0       # 0 = default slots//2 cadence
+    # Reliability engine (repro.faults.reliability.ChannelReliability) for
+    # this direction, or None on the default lossless fabric.
+    reliability: Optional[object] = None
     # The sender-side RMA port object (its notification queues serve the
     # notified send/recv variants used by repro.collectives).
     port: Optional["RmaPort"] = None
@@ -103,7 +110,10 @@ def create_channel_between(cluster: Cluster, src: "Node", dst: "Node",
                            slot_size: int = 256, slots: int = 16,
                            port_id: Optional[int] = None,
                            map_notifications: bool = False,
-                           control_space: str = "gpu") -> Channel:
+                           control_space: str = "gpu",
+                           reliable: bool = False,
+                           reliability_config=None,
+                           replay_flags: Optional[NotifyFlags] = None) -> Channel:
     """Host-side setup of a bidirectional channel between two arbitrary
     nodes: allocate rings/staging/credit words, register them, open a port
     pair, map everything the device code needs.
@@ -120,6 +130,16 @@ def create_channel_between(cluster: Cluster, src: "Node", dst: "Node",
     staging): ``"gpu"`` keeps the sender's polling in device memory (the
     §VI design); ``"hostControlled"`` collectives pass ``"host"`` so the
     driving CPUs poll credits out of their own cache.
+
+    ``reliable`` arms a :class:`repro.faults.reliability.ChannelReliability`
+    engine per direction: credits return after every message (turning the
+    credit word into a cumulative ACK) and a NIC-resident retransmission
+    engine replays unacknowledged slots after a timeout — ``gpu_send`` /
+    ``gpu_recv`` then survive packet loss, corruption, and link flaps
+    transparently.  ``reliability_config`` tunes its timeouts/budgets, and
+    ``replay_flags`` sets the notification flags replayed puts carry
+    (default: ``COMPLETER`` when the receive path waits on completer
+    notifications — i.e. ``map_notifications`` — else ``NONE``).
     """
     if slot_size <= _HEADER_BYTES or slot_size % 8:
         raise BenchmarkError(
@@ -167,9 +187,23 @@ def create_channel_between(cluster: Cluster, src: "Node", dst: "Node",
             credit_staging_nla=end_dst.nic.register_memory(credit_staging),
             ring=ring, ring_nla=end_dst.nic.register_memory(ring),
             slot_size=slot_size, slots=slots,
+            credit_interval=1 if reliable else max(1, slots // 2),
             port=port,
         ))
-    return Channel(*ends)
+    channel = Channel(*ends)
+    if reliable:
+        # Lazy import: repro.core must not depend on repro.faults unless
+        # reliability is actually requested.
+        from ..faults.reliability import ChannelReliability
+        if replay_flags is None:
+            replay_flags = (NotifyFlags.COMPLETER if map_notifications
+                            else NotifyFlags.NONE)
+        for end, end_src, end_dst in ((channel.a_to_b, src, dst),
+                                      (channel.b_to_a, dst, src)):
+            end.reliability = ChannelReliability(
+                cluster.sim, end_src, end_dst, end,
+                config=reliability_config, replay_flags=replay_flags)
+    return channel
 
 
 def create_channel(cluster: Cluster, slot_size: int = 256,
@@ -220,6 +254,8 @@ def gpu_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes,
         size=end.slot_size, flags=flags)
     yield from gpu_rma_post_wide(ctx, end.page_addr, wr)
     end.next_seq += 1
+    if end.reliability is not None:
+        end.reliability.note_send(seq)
 
 
 def gpu_recv(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd):
@@ -275,7 +311,8 @@ def _consume_slot(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd,
     # The scratch word and the outgoing port both belong to *this* node:
     # `end.credit_staging` lives in the receiver's GPU, `reverse` is this
     # node's sending direction.
-    if end.consumed - end.credits_returned >= max(1, end.slots // 2):
+    if (end.consumed - end.credits_returned
+            >= (end.credit_interval or max(1, end.slots // 2))):
         yield from ctx.store_u64(end.credit_staging.base, end.consumed)
         credit_wr = RmaWorkRequest(
             op=RmaOp.PUT, port=reverse.port_id, dst_node=reverse.dst_node_id,

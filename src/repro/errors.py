@@ -82,6 +82,21 @@ class RegistrationError(NicError):
     """Memory (de)registration failed or a key/NLA did not validate."""
 
 
+class FaultError(ReproError):
+    """Base class for fault-injection and reliability-layer errors."""
+
+
+class RetryExhaustedError(FaultError):
+    """A reliability engine gave up after its retransmission budget: the
+    peer never acknowledged despite exponential-backoff retries."""
+
+
+class CorruptionError(FaultError):
+    """Payload bytes failed their checksum — a corrupted packet reached a
+    consumer that cannot tolerate it (reliable paths drop-and-retry
+    instead of raising this)."""
+
+
 class ConfigError(ReproError):
     """Invalid configuration parameters."""
 

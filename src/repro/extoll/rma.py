@@ -55,6 +55,11 @@ class RmaUnit:
         self.gets_started = 0
         self.packets_handled = 0
         self.notifications_written = 0
+        self.corrupt_dropped = 0
+        # Hooks invoked (plain callbacks, no simulated cost) after a put's
+        # payload DMA completes; the reliability layer registers duplicate
+        # detectors here.  Empty by default: one truthiness check per put.
+        self.put_listeners: list = []
         # Asynchronous errors (bad NLA in a descriptor/packet, queue
         # overflows, ...) are recorded here instead of killing the unit —
         # the model's analogue of RMA error notifications.
@@ -160,6 +165,15 @@ class RmaUnit:
         while True:
             packet = yield self.endpoint.recv()
             self.packets_handled += 1
+            if packet.is_corrupt:
+                # Link-level CRC failure: discard like a lossy drop and let
+                # the reliability layer (if any) retransmit.
+                self.corrupt_dropped += 1
+                if trc.enabled:
+                    trc.instant("fault", "drop:crc", track=track,
+                                seq=packet.seq, kind=packet.kind.value)
+                    trc.metrics.counter(f"rma.{self.nic.name}.crc_drops").inc()
+                continue
             span = (trc.begin("rma", f"cmpl-{packet.kind.value}", track=track,
                               seq=packet.seq, bytes=len(packet.payload))
                     if trc.enabled else NULL_SPAN)
@@ -180,6 +194,9 @@ class RmaUnit:
     def _complete_put(self, packet: Packet):
         dst_phys = self.atu.translate(packet.meta["dst_nla"], len(packet.payload))
         yield from self.dma.write(dst_phys, packet.payload)
+        if self.put_listeners:
+            for listener in self.put_listeners:
+                listener(packet)
         flags = packet.meta["flags"]
         if flags & NotifyFlags.COMPLETER:
             port = self.nic.port_state(packet.meta["port"])

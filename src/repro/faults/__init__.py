@@ -1,0 +1,33 @@
+"""repro.faults — deterministic fault injection and reliability.
+
+Three pieces:
+
+* :class:`FaultPlan` / :class:`LinkFaults` — a declarative, hashable
+  description of what goes wrong on which links (loss, corruption, delay /
+  reorder, outage windows, periodic flaps), seeded so every run replays
+  bit-identically.
+* :class:`FaultInjector` — attaches a plan to a concrete network fabric,
+  installing :class:`LinkFaultState` on each faulted
+  :class:`~repro.network.NetLink` and driving the outage schedules.
+* :class:`ChannelReliability` / :class:`ReliabilityConfig` — the
+  retransmission engines behind ``create_channel_between(reliable=True)``:
+  per-message cumulative ACKs via the credit word, timeout + exponential
+  backoff, go-back-N replay, and receiver-side credit re-acks.
+
+``FaultPlan.none()`` (the default everywhere) installs nothing at all, so
+the fault layer is bit-for-bit invisible until asked for — the same
+zero-cost contract as :class:`~repro.sim.trace.NullTracer`.
+"""
+
+from .injector import FaultInjector, LinkFaultState
+from .plan import FaultPlan, LinkFaults
+from .reliability import ChannelReliability, ReliabilityConfig
+
+__all__ = [
+    "ChannelReliability",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaults",
+    "LinkFaultState",
+    "ReliabilityConfig",
+]

@@ -46,6 +46,11 @@ class QueuePair:
     # Hardware-visible producer indices (updated by doorbells).
     sq_producer_seen: int = 0
     rq_producer_seen: int = 0
+    # RC transport packet-sequence numbers (used when IbConfig.reliability
+    # arms go-back-N): requester side stamps next_psn, responder side admits
+    # only expected_psn and NACKs gaps.
+    next_psn: int = 1
+    expected_psn: int = 1
 
     def __post_init__(self) -> None:
         if self.sq_buffer.size < self.sq_entries * WQE_BYTES:

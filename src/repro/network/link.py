@@ -5,6 +5,15 @@ delivers them, after the propagation latency, into the receiver's inbox
 (:class:`~repro.sim.Store`) in exactly the order they were sent — both
 EXTOLL and InfiniBand RC guarantee in-order delivery, which the paper's
 ``pollOnGPU`` / poll-last-element trick depends on (§V-B1).
+
+Fault injection: a link optionally carries a
+:class:`~repro.faults.injector.LinkFaultState` in ``self.faults``
+(installed by :class:`~repro.faults.FaultInjector`; ``None`` by default,
+costing one attribute check).  The state is consulted once per packet
+after serialization and may drop it (loss or a downed link), substitute a
+corrupted clone, or add extra delay — delayed packets skip the in-order
+delivery chain, so they reorder against their neighbors exactly like a
+stray packet taking a slow path through a real switch.
 """
 
 from __future__ import annotations
@@ -43,6 +52,9 @@ class NetLink:
         # In-order delivery despite concurrent senders: a delivery chain per
         # direction (each delivery waits on the previous one).
         self._last_delivery = [None, None]
+        # Fault-injection state; None (the default) keeps the reliable
+        # fabric of the paper at the cost of one attribute check per send.
+        self.faults = None
 
     def send(self, endpoint: int, packet: Packet):
         """Process fragment: transmit ``packet`` from ``endpoint``; returns
@@ -67,6 +79,12 @@ class NetLink:
         if trc.enabled:
             trc.metrics.counter("net.packets").inc()
             trc.metrics.counter("net.wire_bytes").inc(packet.wire_bytes)
+        extra_delay = 0.0
+        if self.faults is not None:
+            verdict = self.faults.filter_tx(packet)
+            if verdict is None:
+                return                      # dropped: no delivery at all
+            packet, extra_delay = verdict
         # Chain delivery so packets arrive strictly in send-completion order.
         dst_inbox = self.inbox[1 - endpoint]
         prev = self._last_delivery[endpoint]
@@ -81,8 +99,21 @@ class NetLink:
                     track=f"{self.name}.rx{1 - endpoint}", seq=packet.seq)
             yield dst_inbox.put(packet)
 
-        self._last_delivery[endpoint] = self.sim.process(
-            deliver(), name=f"{self.name}.deliver{packet.seq}")
+        def deliver_late():
+            # Fault-delayed: off the in-order chain, free to reorder.
+            yield self.sim.timeout(self.config.latency + extra_delay)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    "net", f"deliver-late:{packet.kind.value}",
+                    track=f"{self.name}.rx{1 - endpoint}", seq=packet.seq)
+            yield dst_inbox.put(packet)
+
+        if extra_delay > 0.0:
+            self.sim.process(deliver_late(),
+                             name=f"{self.name}.deliver-late{packet.seq}")
+        else:
+            self._last_delivery[endpoint] = self.sim.process(
+                deliver(), name=f"{self.name}.deliver{packet.seq}")
 
     def serialization_time(self, wire_bytes: int) -> float:
         return wire_bytes / self.config.bandwidth

@@ -3,13 +3,22 @@
 A packet carries a functional payload (``data``) plus the metadata the NIC
 pipelines need.  ``wire_bytes`` determines serialization time; each fabric
 defines its own per-packet header overhead.
+
+Integrity: packets optionally carry a link-layer ``checksum`` (CRC-32 of
+the payload).  The default is ``None`` — the reliable-fabric assumption of
+the paper — and costs nothing.  The fault injector :mod:`repro.faults`
+seals a packet before flipping payload bytes, so receivers can detect the
+corruption with :attr:`Packet.is_corrupt` exactly the way real link-layer
+CRCs catch bad frames.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import zlib
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 class PacketKind(enum.Enum):
@@ -35,10 +44,39 @@ class Packet:
     payload: bytes = b""
     meta: dict = field(default_factory=dict)
     seq: int = field(default_factory=lambda: next(_seq))
+    # Link-layer CRC of the payload; None (the default) means "not sealed"
+    # and all integrity checks pass for free.
+    checksum: Optional[int] = None
 
     @property
     def wire_bytes(self) -> int:
         return self.header_bytes + len(self.payload)
+
+    # -- integrity ---------------------------------------------------------------
+    def compute_checksum(self) -> int:
+        return zlib.crc32(self.payload)
+
+    def seal(self) -> "Packet":
+        """Stamp the link-layer CRC of the current payload."""
+        self.checksum = self.compute_checksum()
+        return self
+
+    @property
+    def is_corrupt(self) -> bool:
+        """True iff the packet was sealed and the payload no longer matches
+        its CRC.  Unsealed packets (the default, zero-cost path) are never
+        corrupt."""
+        return (self.checksum is not None
+                and self.checksum != zlib.crc32(self.payload))
+
+    def clone(self, payload: Optional[bytes] = None) -> "Packet":
+        """An independent copy (fresh trace seq) — used by the fault
+        injector to corrupt a delivery without touching the sender's
+        retransmission copy, and by retransmission engines to re-send."""
+        return Packet(self.kind, self.src_node, self.dst_node,
+                      self.header_bytes,
+                      self.payload if payload is None else payload,
+                      dict(self.meta), checksum=self.checksum)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Packet {self.kind.value} {self.src_node}->{self.dst_node} "

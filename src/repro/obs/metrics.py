@@ -11,7 +11,7 @@ and every call is a no-op.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class Counter:
@@ -73,12 +73,60 @@ class Histogram:
                 f"min={self.min:g} max={self.max:g}>")
 
 
+class Timeline:
+    """A stepwise state variable sampled at transition times (link up/down,
+    queue depth, ...).  Stores ``(time, value)`` points; the value holds
+    until the next point, which is what the timeline exporter needs to draw
+    fault windows."""
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    @property
+    def transitions(self) -> int:
+        return len(self.points)
+
+    def value_at(self, time: float) -> Optional[float]:
+        """The state at ``time`` (last point at or before it), or None."""
+        current = None
+        for t, v in self.points:
+            if t > time:
+                break
+            current = v
+        return current
+
+    def windows(self, value: float) -> List[Tuple[float, Optional[float]]]:
+        """The ``(start, end)`` intervals during which the state equaled
+        ``value``; an open interval ends with ``None``."""
+        out: List[Tuple[float, Optional[float]]] = []
+        start: Optional[float] = None
+        for t, v in self.points:
+            if v == value and start is None:
+                start = t
+            elif v != value and start is not None:
+                out.append((start, t))
+                start = None
+        if start is not None:
+            out.append((start, None))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeline {self.name} points={len(self.points)}>"
+
+
 class MetricsRegistry:
-    """Named counters and histograms, created on first access."""
+    """Named counters, histograms, and timelines, created on first access."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._timelines: Dict[str, Timeline] = {}
 
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
@@ -92,8 +140,15 @@ class MetricsRegistry:
             h = self._histograms[name] = Histogram(name)
         return h
 
+    def timeline(self, name: str) -> Timeline:
+        t = self._timelines.get(name)
+        if t is None:
+            t = self._timelines[name] = Timeline(name)
+        return t
+
     def snapshot(self) -> dict:
-        """A plain-dict view (counters as ints, histograms as summaries)."""
+        """A plain-dict view (counters as ints, histograms as summaries,
+        timelines as their transition points)."""
         out: dict = {}
         for name, c in sorted(self._counters.items()):
             out[name] = c.value
@@ -102,11 +157,14 @@ class MetricsRegistry:
                          "min": h.min if h.count else None,
                          "max": h.max if h.count else None,
                          "mean": h.mean}
+        for name, t in sorted(self._timelines.items()):
+            out[name] = {"points": [[time, value] for time, value in t.points]}
         return out
 
     def clear(self) -> None:
         self._counters.clear()
         self._histograms.clear()
+        self._timelines.clear()
 
     def render(self) -> str:
         """Text table of every metric, alphabetical."""
@@ -116,6 +174,9 @@ class MetricsRegistry:
         for name, h in sorted(self._histograms.items()):
             rows.append((name, f"n={h.count:,} mean={h.mean:.4g} "
                                f"min={h.min:.4g} max={h.max:.4g}"))
+        for name, t in sorted(self._timelines.items()):
+            last = f" last={t.points[-1][1]:g}" if t.points else ""
+            rows.append((name, f"transitions={t.transitions:,}{last}"))
         if not rows:
             return "(no metrics recorded)"
         width = max(len(name) for name, _ in rows) + 2

@@ -12,6 +12,7 @@ number, so two runs of the same model produce identical schedules.
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError
@@ -31,15 +32,22 @@ class Simulator:
         Defaults to the process-wide default (normally the zero-cost
         :data:`~repro.sim.trace.NULL_TRACER`); install a real one with
         :meth:`set_tracer` or :func:`repro.sim.trace.set_default_tracer`.
+    rng:
+        The simulation's seeded random stream (``random.Random``) — the ONLY
+        source of randomness models may use, so that two simulators built
+        with the same ``seed`` replay byte-identically.  Never seeded from
+        wall-clock: the default seed is 0.
     """
 
     def __init__(self, trace: Optional[Callable[[float, str], None]] = None,
-                 tracer=None) -> None:
+                 tracer=None, seed: int = 0) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq: int = 0
         self._trace = trace
         self._active_processes: int = 0
+        self.seed = seed
+        self.rng = random.Random(seed)
         self.tracer = tracer if tracer is not None else get_default_tracer()
         if self.tracer is not NULL_TRACER:
             self.tracer.bind(self)

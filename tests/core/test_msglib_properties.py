@@ -1,0 +1,61 @@
+"""Property tests: msglib slot arithmetic must hold for ANY ring geometry
+and arbitrarily large sequence numbers (seq wraparound)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.msglib import _HEADER_BYTES, _LEN_MASK, _SEQ_SHIFT, ChannelEnd
+
+
+def make_end(slot_size, slots):
+    return ChannelEnd(src_node_id=0, dst_node_id=1, port_id=0, page_addr=0,
+                      staging=None, staging_nla=None, credit_word=None,
+                      credit_word_nla=None, ring=None, ring_nla=None,
+                      slot_size=slot_size, slots=slots)
+
+
+slot_sizes = st.integers(min_value=2, max_value=512).map(lambda w: w * 8)
+slot_counts = st.integers(min_value=1, max_value=256)
+seqs = st.integers(min_value=1, max_value=2**48 - 1)
+
+
+@given(slot_sizes, slot_counts, seqs)
+def test_slot_offset_stays_inside_the_ring(slot_size, slots, seq):
+    end = make_end(slot_size, slots)
+    off = end.slot_offset(seq)
+    assert 0 <= off < slots * slot_size
+    assert off % slot_size == 0
+
+
+@given(slot_sizes, slot_counts, seqs)
+def test_slot_offset_is_periodic_in_ring_depth(slot_size, slots, seq):
+    end = make_end(slot_size, slots)
+    assert end.slot_offset(seq) == end.slot_offset(seq + slots)
+    assert end.slot_offset(seq) == end.slot_offset(seq + 7 * slots)
+
+
+@given(slot_sizes, slot_counts, seqs)
+def test_window_of_live_seqs_maps_to_distinct_slots(slot_size, slots, seq):
+    """Flow control admits at most ``slots`` unacknowledged messages; all of
+    them must occupy distinct slots or retransmission would clobber live
+    data."""
+    end = make_end(slot_size, slots)
+    offsets = {end.slot_offset(s) for s in range(seq, seq + slots)}
+    assert len(offsets) == slots
+
+
+@given(slot_sizes, seqs)
+def test_header_roundtrips_seq_and_length(slot_size, seq):
+    end = make_end(slot_size, 8)
+    for length in (0, 1, end.payload_capacity):
+        header = (seq << _SEQ_SHIFT) | length
+        assert header >> _SEQ_SHIFT == seq
+        assert header & _LEN_MASK == length
+
+
+@given(slot_sizes)
+def test_payload_capacity_leaves_room_for_the_header(slot_size):
+    end = make_end(slot_size, 4)
+    assert end.payload_capacity == slot_size - _HEADER_BYTES
+    assert 0 < end.payload_capacity < slot_size
+    # Any legal payload length fits in the header's length field.
+    assert end.payload_capacity <= _LEN_MASK
