@@ -9,7 +9,11 @@ Subcommands:
 * ``collectives`` — N-node collective sweeps and traced runs
   (``python -m repro collectives --op all-reduce --nodes 2,4,8``),
 * ``faults`` — chaos sweeps under deterministic fault injection
-  (``python -m repro faults --loss 0,0.01,0.05 --mode all``).
+  (``python -m repro faults --loss 0,0.01,0.05 --mode all``),
+* ``profile`` — cost-attribute one measurement into phases
+  (``python -m repro profile --mode dev2dev-direct --size 64``),
+* ``bench`` — record/check benchmark-regression baselines
+  (``python -m repro bench --check --quick``).
 """
 
 import sys
@@ -20,6 +24,12 @@ def main(argv=None) -> int:
     if argv and argv[0] == "trace":
         from .obs.cli import main as trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from .perf.cli import profile_main
+        return profile_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .perf.cli import bench_main
+        return bench_main(argv[1:])
     if argv and argv[0] == "collectives":
         from .collectives.cli import main as coll_main
         return coll_main(argv[1:])

@@ -36,6 +36,16 @@ class LatencyPoint:
             return float("inf") if self.poll_time > 0.0 else float("nan")
         return self.poll_time / self.post_time
 
+    def to_dict(self) -> dict:
+        """JSON-safe view for baselines and profile reports (the unbounded
+        / undefined ratio serializes as ``None``, never ``inf``/``nan``)."""
+        ratio = self.poll_to_post_ratio
+        return {"size": self.size, "latency_us": self.latency_us,
+                "post_time_us": self.post_time * 1e6,
+                "poll_time_us": self.poll_time * 1e6,
+                "poll_to_post_ratio":
+                    ratio if ratio == ratio and ratio != float("inf") else None}
+
 
 @dataclass(frozen=True)
 class BandwidthPoint:
@@ -46,6 +56,10 @@ class BandwidthPoint:
     @property
     def mb_per_s(self) -> float:
         return mb_per_s(self.bytes_moved, self.elapsed)
+
+    def to_dict(self) -> dict:
+        return {"size": self.size, "bytes_moved": self.bytes_moved,
+                "elapsed_us": self.elapsed * 1e6, "mb_per_s": self.mb_per_s}
 
 
 @dataclass(frozen=True)

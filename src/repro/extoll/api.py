@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from ..cpu import HostThread
 from ..errors import RmaError
+from ..sim import NULL_SPAN
 from .descriptor import RmaWorkRequest
 from .notification import Notification, NotificationQueue
 
@@ -35,14 +36,22 @@ class NotificationCursor:
 def rma_post(ctx: HostThread, port_page_addr: int, wr: RmaWorkRequest):
     """Post a work request from the CPU: one 24-byte store to the BAR page
     (write-combining folds the three words into a single transaction)."""
+    trc = ctx.sim.tracer
+    span = (trc.begin("rma.api", "rma_post", track=ctx.track,
+                      op=wr.op.name.lower(), bytes=wr.size)
+            if trc.enabled else NULL_SPAN)
     yield from ctx.compute(30)  # descriptor assembly
     yield from ctx.write(port_page_addr, wr.encode())
+    span.end()
 
 
 def rma_wait_notification(ctx: HostThread, cursor: NotificationCursor,
                           max_polls: int | None = 2_000_000):
     """Spin on the next queue slot until its valid bit is set, then consume
     and free it.  Returns the decoded :class:`Notification`."""
+    trc = ctx.sim.tracer
+    span = (trc.begin("rma.api", "wait-notification", track=ctx.track)
+            if trc.enabled else NULL_SPAN)
     polls = 0
     while True:
         word0 = yield from ctx.read_u64(cursor.slot_addr)
@@ -50,6 +59,7 @@ def rma_wait_notification(ctx: HostThread, cursor: NotificationCursor,
         if Notification.is_valid_word(word0):
             break
         if max_polls is not None and polls >= max_polls:
+            span.end(polls=polls, error="poll budget exhausted")
             raise RmaError(f"notification wait exceeded {max_polls} polls "
                            f"on {cursor.queue.name}")
         if polls > 256:  # long wait: progressive backoff
@@ -62,6 +72,9 @@ def rma_wait_notification(ctx: HostThread, cursor: NotificationCursor,
     cursor.read_index += 1
     yield from ctx.write_u32(cursor.queue.read_ptr_addr,
                              cursor.read_index % (1 << 32))
+    span.end(polls=polls)
+    if trc.enabled:
+        trc.metrics.histogram("rma.host_notification_polls").observe(polls)
     return record
 
 

@@ -109,11 +109,16 @@ def ibv_post_recv(ctx: HostThread, hca: Hca, qp: QueuePair, wqe: Wqe,
     """Post one receive WR: write the WQE to the RQ ring and ring the RQ
     doorbell.  Returns the new producer index."""
     qp.require_rtr()
+    trc = ctx.sim.tracer
+    span = (trc.begin("ib.api", "ibv_post_recv", track=ctx.track,
+                      qp=qp.qp_num, bytes=wqe.length)
+            if trc.enabled else NULL_SPAN)
     yield from ctx.compute(HOST_POST_RECV_INSTRUCTIONS)
     yield from ctx.write(qp.rq_slot_addr(producer_index), wqe.encode())
     yield from ctx.write(hca.doorbell_addr(qp),
                          encode_doorbell(producer_index + 1, is_rq=True)
                          .to_bytes(8, "little"))
+    span.end()
     return producer_index + 1
 
 

@@ -31,6 +31,15 @@ from .export import (
     write_chrome_trace,
 )
 from .metrics import Counter, Histogram, MetricsRegistry
+from .query import (
+    clip,
+    coverage,
+    merge,
+    overlap,
+    phase_windows,
+    span_intervals,
+    subtract,
+)
 from .tracer import InstantRecord, Span, SpanRecord, SpanTracer
 
 __all__ = [
@@ -48,12 +57,19 @@ __all__ = [
     "SpanRecord",
     "SpanTracer",
     "chrome_trace_events",
+    "clip",
+    "coverage",
     "get_default_tracer",
+    "merge",
+    "overlap",
     "phase_breakdown",
+    "phase_windows",
     "reconcile_with_point",
     "render_breakdown",
     "render_timeline",
     "set_default_tracer",
+    "span_intervals",
+    "subtract",
     "validate_chrome_trace",
     "write_chrome_trace",
 ]

@@ -68,7 +68,48 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-th percentile (0..100) from the power-of-two
+        buckets.
+
+        The rank is located by walking the cumulative bucket counts; within
+        the bucket it lands in, the value is interpolated linearly across the
+        bucket's ``(2**(e-1), 2**e]`` range and clamped to the observed
+        ``[min, max]``.  The estimate is therefore never off by more than one
+        octave.  Returns ``None`` for an empty histogram.
+        """
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile wants q in [0, 100], got {q!r}")
+        if q == 0.0:
+            return self.min
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for e in sorted(self.buckets):
+            n = self.buckets[e]
+            cumulative += n
+            if cumulative >= target:
+                lo, hi = 2.0 ** (e - 1), 2.0 ** e
+                frac = (target - (cumulative - n)) / n
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.min), self.max)
+        return self.max  # pragma: no cover - cumulative == count above
+
+    def summary(self) -> dict:
+        """JSON-safe summary: an empty histogram reports ``None`` for
+        min/max/mean/percentiles instead of leaking ``inf``/``-inf``."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p90": None, "p99": None}
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean,
+                "p50": self.percentile(50), "p90": self.percentile(90),
+                "p99": self.percentile(99)}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.count:
+            return f"<Histogram {self.name} n=0>"
         return (f"<Histogram {self.name} n={self.count} mean={self.mean:g} "
                 f"min={self.min:g} max={self.max:g}>")
 
@@ -147,18 +188,47 @@ class MetricsRegistry:
         return t
 
     def snapshot(self) -> dict:
-        """A plain-dict view (counters as ints, histograms as summaries,
-        timelines as their transition points)."""
+        """A plain-dict view (counters as ints, histograms as summaries with
+        estimated percentiles, timelines as their transition points).  The
+        result is JSON-safe: empty histograms report ``None``, never
+        ``inf``/``-inf``."""
         out: dict = {}
         for name, c in sorted(self._counters.items()):
             out[name] = c.value
         for name, h in sorted(self._histograms.items()):
-            out[name] = {"count": h.count, "sum": h.total,
-                         "min": h.min if h.count else None,
-                         "max": h.max if h.count else None,
-                         "mean": h.mean}
+            out[name] = h.summary()
         for name, t in sorted(self._timelines.items()):
             out[name] = {"points": [[time, value] for time, value in t.points]}
+        return out
+
+    def diff(self, earlier: dict) -> dict:
+        """What changed since ``earlier`` (a prior :meth:`snapshot`).
+
+        Returns the same flat shape as :meth:`snapshot` but with *deltas*:
+        counters as ``current - earlier``, histograms as the count/sum/mean
+        of the samples observed in between, timelines as the points appended
+        since.  This is how the bench harness computes per-run counter
+        deltas on registries shared across sequential simulations, without
+        resetting them mid-flight.  Metrics created after ``earlier`` diff
+        against zero.
+        """
+        out: dict = {}
+        for name, c in sorted(self._counters.items()):
+            before = earlier.get(name, 0)
+            out[name] = c.value - (before if isinstance(before, int) else 0)
+        for name, h in sorted(self._histograms.items()):
+            before = earlier.get(name)
+            before = before if isinstance(before, dict) else {}
+            d_count = h.count - (before.get("count") or 0)
+            d_sum = h.total - (before.get("sum") or 0.0)
+            out[name] = {"count": d_count, "sum": d_sum,
+                         "mean": d_sum / d_count if d_count else None}
+        for name, t in sorted(self._timelines.items()):
+            before = earlier.get(name)
+            before = before if isinstance(before, dict) else {}
+            seen = len(before.get("points") or [])
+            out[name] = {"points": [[time, value]
+                                    for time, value in t.points[seen:]]}
         return out
 
     def clear(self) -> None:
@@ -172,8 +242,12 @@ class MetricsRegistry:
         for name, c in sorted(self._counters.items()):
             rows.append((name, f"{c.value:,}"))
         for name, h in sorted(self._histograms.items()):
-            rows.append((name, f"n={h.count:,} mean={h.mean:.4g} "
-                               f"min={h.min:.4g} max={h.max:.4g}"))
+            if h.count:
+                rows.append((name, f"n={h.count:,} mean={h.mean:.4g} "
+                                   f"min={h.min:.4g} max={h.max:.4g} "
+                                   f"p99={h.percentile(99):.4g}"))
+            else:
+                rows.append((name, "n=0"))
         for name, t in sorted(self._timelines.items()):
             last = f" last={t.points[-1][1]:g}" if t.points else ""
             rows.append((name, f"transitions={t.transitions:,}{last}"))

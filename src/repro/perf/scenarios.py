@@ -1,0 +1,260 @@
+"""The canonical benchmark scenarios the regression harness tracks.
+
+Each scenario is a deterministic, seconds-scale slice of one experiment
+family — small enough for CI, large enough that a latency-model change
+shows up in its metrics.  Scenario functions return a
+:class:`~repro.perf.harness.ScenarioResult`; the harness handles baselines
+and comparison.
+
+Determinism contract: every ``sim``/``count`` metric must be bit-identical
+across processes and machines (the simulator is seeded and ties are
+sequence-broken), so baselines can live in git.  Anything host-dependent
+must be recorded with ``kind="wallclock"``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis import invariants as inv
+from ..analysis.faults import run_chaos_point, zero_cost_check
+from ..cluster import build_extoll_cluster, build_ib_cluster
+from ..collectives.bench import build_communicator, run_collective
+from ..collectives.comm import CollectiveMode
+from ..core import (
+    ExtollMode,
+    IbMode,
+    run_extoll_bandwidth,
+    run_extoll_pingpong,
+    run_ib_pingpong,
+    setup_extoll_connection,
+    setup_ib_connection,
+)
+from ..sim import Simulator
+from ..units import KIB, MIB
+from .harness import Scenario, ScenarioResult
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(name: str, description: str, quick: bool = True):
+    def deco(fn):
+        SCENARIOS[name] = Scenario(name=name, description=description,
+                                   run=fn, quick=quick)
+        return fn
+    return deco
+
+
+def get_scenarios(names: Optional[Iterable[str]] = None,
+                  quick_only: bool = False) -> List[Scenario]:
+    """Resolve a scenario selection; unknown names raise ``KeyError`` with
+    the valid choices."""
+    if names:
+        out = []
+        for name in names:
+            if name not in SCENARIOS:
+                raise KeyError(
+                    f"unknown scenario {name!r} (choose from: "
+                    f"{', '.join(sorted(SCENARIOS))})")
+            out.append(SCENARIOS[name])
+        return out
+    return [s for s in SCENARIOS.values() if s.quick or not quick_only]
+
+
+def _extoll_point(mode: ExtollMode, size: int, iterations: int = 10,
+                  warmup: int = 2):
+    cluster = build_extoll_cluster()
+    conn = setup_extoll_connection(cluster, max(size, 4 * KIB))
+    return run_extoll_pingpong(cluster, conn, mode, size,
+                               iterations=iterations, warmup=warmup)
+
+
+def _ib_point(mode: IbMode, size: int, iterations: int = 10,
+              warmup: int = 2):
+    cluster = build_ib_cluster()
+    location = "host" if mode is IbMode.BUF_ON_HOST else "gpu"
+    conn = setup_ib_connection(cluster, max(size, 4 * KIB), location)
+    return run_ib_pingpong(cluster, conn, mode, size,
+                           iterations=iterations, warmup=warmup)
+
+
+# -- Fig. 1a: EXTOLL latency ----------------------------------------------------
+
+@_register("extoll-latency",
+           "EXTOLL ping-pong latency, all four control-flow modes "
+           "(Fig. 1a slice)")
+def extoll_latency() -> ScenarioResult:
+    res = ScenarioResult()
+    points = {}
+    for mode in (ExtollMode.DIRECT, ExtollMode.POLL_ON_GPU,
+                 ExtollMode.ASSISTED, ExtollMode.HOST_CONTROLLED):
+        for size in (64, 4 * KIB, 64 * KIB):
+            p = _extoll_point(mode, size)
+            points[(mode, size)] = p
+            res.metric(f"{mode.value}/{size}B/latency_us", p.latency_us,
+                       unit="us")
+    res.invariant("fig1-2x-gap", inv.two_x_gap(
+        points[(ExtollMode.DIRECT, 64)].latency,
+        points[(ExtollMode.HOST_CONTROLLED, 64)].latency))
+    res.invariant("devmem-poll-beats-sysmem", inv.faster_than(
+        points[(ExtollMode.POLL_ON_GPU, 64)].latency,
+        points[(ExtollMode.DIRECT, 64)].latency,
+        "pollOnGPU", "direct"))
+    return res
+
+
+# -- Fig. 1b: EXTOLL bandwidth --------------------------------------------------
+
+@_register("extoll-bandwidth",
+           "EXTOLL streaming bandwidth incl. the >1MiB drop (Fig. 1b "
+           "slice)", quick=False)
+def extoll_bandwidth() -> ScenarioResult:
+    res = ScenarioResult()
+    curves = {}
+    for mode in (ExtollMode.DIRECT, ExtollMode.HOST_CONTROLLED):
+        curve = []
+        for size in (256 * KIB, 1 * MIB, 4 * MIB):
+            cluster = build_extoll_cluster()
+            conn = setup_extoll_connection(cluster, max(size, 4 * KIB))
+            p = run_extoll_bandwidth(cluster, conn, mode, size, count=8)
+            curve.append((size, p.mb_per_s))
+            res.metric(f"{mode.value}/{size}B/mb_per_s", p.mb_per_s,
+                       unit="MB/s")
+        curves[mode] = curve
+    res.invariant("fig1b-large-message-drop",
+                  inv.bandwidth_drops_after_peak(curves[ExtollMode.DIRECT]))
+    return res
+
+
+# -- Fig. 3: poll-to-post ratio -------------------------------------------------
+
+@_register("extoll-poll-ratio",
+           "Poll-time vs WR-generation-time, system vs device memory "
+           "(Fig. 3 slice)")
+def extoll_poll_ratio() -> ScenarioResult:
+    res = ScenarioResult()
+    ratios = {}
+    for mode, label in ((ExtollMode.DIRECT, "sysmem"),
+                        (ExtollMode.POLL_ON_GPU, "devmem")):
+        for size in (64, 4 * KIB):
+            p = _extoll_point(mode, size)
+            ratios[(label, size)] = p.poll_to_post_ratio
+            res.metric(f"{label}/{size}B/poll_to_post_ratio",
+                       p.poll_to_post_ratio, unit="x")
+    res.invariant("fig3-sysmem-polling-dominates",
+                  inv.sysmem_polling_dominates(ratios[("sysmem", 64)],
+                                               ratios[("devmem", 64)]))
+    return res
+
+
+# -- Fig. 4a: InfiniBand latency ------------------------------------------------
+
+@_register("ib-latency",
+           "InfiniBand ping-pong latency, all four control-flow modes "
+           "(Fig. 4a slice)")
+def ib_latency() -> ScenarioResult:
+    res = ScenarioResult()
+    points = {}
+    for mode in (IbMode.BUF_ON_GPU, IbMode.BUF_ON_HOST, IbMode.ASSISTED,
+                 IbMode.HOST_CONTROLLED):
+        for size in (64, 4 * KIB):
+            p = _ib_point(mode, size)
+            points[(mode, size)] = p
+            res.metric(f"{mode.value}/{size}B/latency_us", p.latency_us,
+                       unit="us")
+    res.invariant("fig4a-gpu-buffers-beat-host-buffers", inv.faster_than(
+        points[(IbMode.BUF_ON_GPU, 64)].latency,
+        points[(IbMode.BUF_ON_HOST, 64)].latency,
+        "bufOnGPU", "bufOnHost"))
+    res.invariant("fig4a-host-control-fastest", inv.faster_than(
+        points[(IbMode.HOST_CONTROLLED, 64)].latency,
+        min(points[(IbMode.BUF_ON_GPU, 64)].latency,
+            points[(IbMode.ASSISTED, 64)].latency),
+        "hostControlled", "best GPU-controlled"))
+    return res
+
+
+# -- collectives ----------------------------------------------------------------
+
+@_register("collectives-allreduce",
+           "4-node ring all-reduce over put/get, GPU- and host-controlled")
+def collectives_allreduce() -> ScenarioResult:
+    res = ScenarioResult()
+    nodes, size = 4, 64
+    for mode in (CollectiveMode.POLL_ON_GPU, CollectiveMode.HOST_CONTROLLED):
+        cluster, comm = build_communicator(nodes, size, mode)
+        r = run_collective(cluster, comm, "all-reduce", size,
+                           iterations=4, warmup=1)
+        res.metric(f"{mode.value}/latency_us", r.latency_us, unit="us")
+        res.metric(f"{mode.value}/steps", r.steps, kind="count")
+        res.invariant(f"{mode.value}/correct", r.correct)
+        res.invariant(f"{mode.value}/ring-steps",
+                      inv.ring_allreduce_steps(r.steps, nodes))
+    return res
+
+
+# -- faults ---------------------------------------------------------------------
+
+@_register("faults-overhead",
+           "Reliability cost at zero loss (must be ~free) and recovery "
+           "under 5% packet loss")
+def faults_overhead() -> ScenarioResult:
+    res = ScenarioResult()
+    zc = zero_cost_check()
+    res.invariant("zero-cost-bit-identical",
+                  (zc["ok"], f"bare {zc['bare_latency'] * 1e6:.3f}us vs "
+                             f"null-plan {zc['null_latency'] * 1e6:.3f}us"))
+    clean, _, _ = run_chaos_point(CollectiveMode.POLL_ON_GPU, 64, loss=0.0)
+    res.metric("reliable/zero-loss/latency_us", clean.latency_us, unit="us")
+    res.metric("reliable/zero-loss/retransmits", clean.retransmits,
+               kind="count")
+    res.invariant("zero-loss-no-retransmits",
+                  (clean.retransmits == 0,
+                   f"{clean.retransmits} retransmits at loss=0"))
+    res.invariant("reliability-overhead-bounded", inv.reliability_is_free(
+        clean.latency, zc["bare_latency"], max_overhead=0.35))
+    lossy, _, _ = run_chaos_point(CollectiveMode.POLL_ON_GPU, 64, loss=0.05)
+    res.metric("reliable/5pct-loss/latency_us", lossy.latency_us, unit="us")
+    res.metric("reliable/5pct-loss/retransmits", lossy.retransmits,
+               kind="count")
+    res.metric("reliable/5pct-loss/drops", lossy.drops, kind="count")
+    res.invariant("correct-under-loss",
+                  (lossy.correct, f"all-reduce result "
+                                  f"{'exact' if lossy.correct else 'WRONG'} "
+                                  f"at 5% loss ({lossy.drops} drops, "
+                                  f"{lossy.retransmits} retransmits)"))
+    res.invariant("loss-actually-recovered",
+                  (lossy.retransmits > 0 and lossy.latency > clean.latency,
+                   f"5% loss: {lossy.retransmits} retransmits, latency "
+                   f"{clean.latency_us:.2f} -> {lossy.latency_us:.2f}us"))
+    return res
+
+
+# -- simulator throughput -------------------------------------------------------
+
+@_register("sim-throughput",
+           "Simulator work (deterministic event count) and wall-clock "
+           "throughput for a reference run")
+def sim_throughput() -> ScenarioResult:
+    res = ScenarioResult()
+    events, walls = [], []
+    for _rep in range(3):
+        sim = Simulator()
+        cluster = build_extoll_cluster(sim=sim)
+        conn = setup_extoll_connection(cluster, 4 * KIB)
+        t0 = time.perf_counter()
+        run_extoll_pingpong(cluster, conn, ExtollMode.DIRECT, 64,
+                            iterations=30, warmup=3)
+        walls.append(time.perf_counter() - t0)
+        events.append(sim.events_processed)
+    res.metric("sim_events", events[0], kind="count", unit="events")
+    res.invariant("deterministic-event-count",
+                  (len(set(events)) == 1,
+                   f"event counts across 3 repeats: {events}"))
+    best = min(walls)
+    res.metric("wall_s_best", best, kind="wallclock", unit="s")
+    res.metric("wall_s_worst", max(walls), kind="wallclock", unit="s")
+    res.metric("events_per_s_best", events[0] / best, kind="wallclock",
+               unit="events/s")
+    return res

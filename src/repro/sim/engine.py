@@ -46,6 +46,11 @@ class Simulator:
         self._seq: int = 0
         self._trace = trace
         self._active_processes: int = 0
+        #: Events processed since construction.  Deterministic for a given
+        #: model + seed, which makes it the machine-independent proxy for
+        #: simulator work that the bench harness tracks alongside raw
+        #: wall-clock (``python -m repro bench``).
+        self.events_processed: int = 0
         self.seed = seed
         self.rng = random.Random(seed)
         self.tracer = tracer if tracer is not None else get_default_tracer()
@@ -96,6 +101,7 @@ class Simulator:
         if when < self._now:  # pragma: no cover - guarded by _schedule
             raise SimulationError("time went backwards")
         self._now = when
+        self.events_processed += 1
         if self._trace is not None:
             self._trace(when, repr(event))
         event._run_callbacks()

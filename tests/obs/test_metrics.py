@@ -54,3 +54,102 @@ def test_null_metrics_swallow_everything():
     NULL_METRICS.counter("x").inc(10)
     NULL_METRICS.histogram("y").observe(1.0)
     assert NULL_METRICS.snapshot() == {}
+
+
+def test_histogram_percentile_from_buckets():
+    h = MetricsRegistry().histogram("lat")
+    for v in (1.0, 2.0, 4.0, 8.0, 16.0):
+        h.observe(v)
+    assert h.percentile(0) == 1.0
+    assert h.percentile(100) == 16.0
+    # p50 falls in the middle bucket; the octave estimate stays within it.
+    assert 2.0 <= h.percentile(50) <= 4.0
+    # Estimates are clamped to the observed range and monotone in q.
+    qs = [h.percentile(q) for q in (10, 25, 50, 75, 90, 99)]
+    assert qs == sorted(qs)
+    assert all(1.0 <= v <= 16.0 for v in qs)
+
+
+def test_histogram_percentile_single_sample_and_bounds():
+    h = MetricsRegistry().histogram("one")
+    h.observe(3.0)
+    for q in (0, 50, 99, 100):
+        assert h.percentile(q) == 3.0
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+
+
+def test_empty_histogram_is_json_safe():
+    """An empty histogram must never leak min=inf / max=-inf into dumps."""
+    import json
+
+    reg = MetricsRegistry()
+    reg.histogram("never-observed")
+    snap = reg.snapshot()
+    assert snap["never-observed"] == {
+        "count": 0, "sum": 0.0, "min": None, "max": None, "mean": None,
+        "p50": None, "p90": None, "p99": None}
+    text = json.dumps(snap)  # would raise / emit Infinity otherwise
+    assert "Infinity" not in text
+    assert h_is_empty_rendered(reg)
+    assert h_percentile_none(reg)
+
+
+def h_is_empty_rendered(reg):
+    return "n=0" in reg.render()
+
+
+def h_percentile_none(reg):
+    return reg.histogram("never-observed").percentile(99) is None
+
+
+def test_snapshot_includes_percentiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("polls")
+    for v in (1.0, 1.0, 1.0, 1.0, 50.0):
+        h.observe(v)
+    snap = reg.snapshot()["polls"]
+    assert snap["p50"] == 1.0
+    assert snap["p99"] == pytest.approx(50.0, rel=0.5)
+    assert snap["p50"] <= snap["p90"] <= snap["p99"]
+
+
+def test_registry_diff_counters_and_histograms():
+    reg = MetricsRegistry()
+    reg.counter("tlps").inc(5)
+    reg.histogram("polls").observe(10.0)
+    before = reg.snapshot()
+
+    reg.counter("tlps").inc(3)
+    reg.counter("fresh").inc(2)            # created after the snapshot
+    reg.histogram("polls").observe(20.0)
+    reg.histogram("polls").observe(30.0)
+    reg.timeline("link").record(1.0, 0.0)
+
+    d = reg.diff(before)
+    assert d["tlps"] == 3
+    assert d["fresh"] == 2
+    assert d["polls"]["count"] == 2
+    assert d["polls"]["sum"] == pytest.approx(50.0)
+    assert d["polls"]["mean"] == pytest.approx(25.0)
+    assert d["link"]["points"] == [[1.0, 0.0]]
+    # No activity since: all deltas go to zero/None.
+    d2 = reg.diff(reg.snapshot())
+    assert d2["tlps"] == 0 and d2["fresh"] == 0
+    assert d2["polls"] == {"count": 0, "sum": pytest.approx(0.0), "mean": None}
+    assert d2["link"]["points"] == []
+
+
+def test_diff_supports_shared_registry_across_runs():
+    """The bench-harness idiom: one registry shared by sequential runs,
+    per-run deltas via snapshot/diff, no clear() in between."""
+    reg = MetricsRegistry()
+    totals = []
+    for run in range(3):
+        before = reg.snapshot()
+        reg.counter("net.packets").inc(10 * (run + 1))
+        totals.append(reg.diff(before)["net.packets"])
+    assert totals == [10, 20, 30]
+    assert reg.counter("net.packets").value == 60

@@ -1,0 +1,71 @@
+"""Unit tests for the interval algebra in repro.obs.query."""
+
+import pytest
+
+from repro.obs import clip, coverage, merge, overlap, phase_windows, span_intervals, subtract
+from repro.obs.cli import run_traced_pingpong
+
+
+def test_merge_unions_and_sorts():
+    assert merge([(3.0, 4.0), (1.0, 2.0), (1.5, 2.5)]) == [(1.0, 2.5), (3.0, 4.0)]
+
+
+def test_merge_drops_zero_length_and_joins_touching():
+    assert merge([(1.0, 1.0), (1.0, 2.0), (2.0, 3.0)]) == [(1.0, 3.0)]
+
+
+def test_clip_restricts_to_window():
+    ivs = [(0.0, 2.0), (3.0, 5.0), (6.0, 7.0)]
+    assert clip(ivs, (1.0, 6.0)) == [(1.0, 2.0), (3.0, 5.0)]
+
+
+def test_subtract_removes_covered_time():
+    windows = [(0.0, 10.0)]
+    cover = [(2.0, 3.0), (5.0, 7.0)]
+    assert subtract(windows, cover) == [(0.0, 2.0), (3.0, 5.0), (7.0, 10.0)]
+    # Removing the remainder too leaves nothing.
+    assert subtract(subtract(windows, cover), subtract(windows, cover)) == []
+
+
+def test_subtract_cover_overhanging_both_ends():
+    assert subtract([(1.0, 2.0)], [(0.0, 3.0)]) == []
+    assert subtract([(1.0, 4.0)], [(0.0, 2.0), (3.0, 5.0)]) == [(2.0, 3.0)]
+
+
+def test_coverage_totals_disjoint_intervals():
+    assert coverage([(0.0, 1.0), (2.0, 4.5)]) == pytest.approx(3.5)
+    assert coverage([]) == 0.0
+
+
+def test_overlap_is_merged_intersection():
+    ivs = [(0.0, 2.0), (2.5, 3.5)]
+    windows = [(1.0, 3.0), (3.25, 5.0)]
+    assert overlap(ivs, windows) == [(1.0, 2.0), (2.5, 3.0), (3.25, 3.5)]
+    # Touching windows merge back into one piece.
+    assert overlap(ivs, [(1.0, 3.0), (3.0, 5.0)]) == [(1.0, 2.0), (2.5, 3.5)]
+
+
+def test_partition_identity_on_a_real_trace():
+    """clip + subtract must partition a window exactly: covered + remainder
+    == window, on real span data with thousands of intervals."""
+    tracer, _ = run_traced_pingpong("extoll", "dev2dev-direct", 64, 4, 1)
+    polling = phase_windows(tracer, "polling")
+    pcie = merge(span_intervals(tracer, category="pcie"))
+    inside = overlap(pcie, polling)
+    rest = subtract(polling, inside)
+    assert coverage(inside) + coverage(rest) == pytest.approx(
+        coverage(polling), rel=1e-12)
+
+
+def test_span_intervals_filters():
+    tracer, _ = run_traced_pingpong("extoll", "dev2dev-direct", 64, 3, 1)
+    all_phase = span_intervals(tracer, category="phase")
+    wrgen = span_intervals(tracer, category="phase", name="wr-generation")
+    ping_only = span_intervals(tracer, category="phase", track="ping")
+    assert len(wrgen) == 3
+    assert len(all_phase) >= len(wrgen)
+    assert all_phase == ping_only  # pingpong phases live on the ping track
+    assert wrgen == sorted(wrgen)
+    big = span_intervals(tracer, category="pcie",
+                         predicate=lambda s: s.duration > 0)
+    assert all(e > b for b, e in big)

@@ -1,0 +1,180 @@
+"""Unit tests for the regression harness — no simulator involved.
+
+Synthetic scenarios with hand-built results exercise every comparison
+path: tolerance bands per metric kind, missing/new metrics, invariant
+verdicts, wall-clock direction handling, schema guarding.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    SCHEMA_VERSION,
+    Metric,
+    Scenario,
+    ScenarioResult,
+    baseline_path,
+    check,
+    load_baseline,
+    record,
+    render_reports,
+)
+
+
+def make_scenario(results):
+    """A scenario whose run() pops pre-built results off a list."""
+    return Scenario(name="synthetic", description="hand-built",
+                    run=lambda: results.pop(0))
+
+
+def result(latency=10.0, events=100, rate=1e6, inv=True, extra=None):
+    res = ScenarioResult()
+    res.metric("latency_us", latency, unit="us")
+    res.metric("events", events, kind="count")
+    res.metric("rate", rate, kind="wallclock", unit="events/s")
+    res.invariant("shape-holds", (inv, "detail line"))
+    if extra:
+        res.metric(extra, 1.0)
+    return res
+
+
+def test_record_then_identical_check_passes(tmp_path):
+    s = make_scenario([result(), result()])
+    path = record(s, str(tmp_path))
+    assert path == baseline_path(s, str(tmp_path))
+    assert path.endswith("BENCH_SYNTHETIC.json")
+    doc = json.load(open(path))
+    assert doc["schema"] == SCHEMA_VERSION
+    assert doc["metrics"]["latency_us"]["value"] == 10.0
+    assert doc["invariants"]["shape-holds"] is True
+    report = check(s, str(tmp_path))
+    assert report.ok and not report.regressions
+
+
+def test_sim_metric_outside_tolerance_regresses(tmp_path):
+    s = make_scenario([result(), result(latency=10.02)])  # +0.2% > 0.1%
+    record(s, str(tmp_path))
+    report = check(s, str(tmp_path))
+    assert not report.ok
+    assert [d.name for d in report.regressions] == ["latency_us"]
+    assert "tolerance" in report.regressions[0].detail
+    assert "FAIL" in report.render()
+
+
+def test_sim_metric_inside_tolerance_passes(tmp_path):
+    s = make_scenario([result(), result(latency=10.0 + 10.0 * 5e-4)])
+    record(s, str(tmp_path))
+    assert check(s, str(tmp_path)).ok
+
+
+def test_count_metric_is_exact(tmp_path):
+    s = make_scenario([result(), result(events=101)])
+    record(s, str(tmp_path))
+    report = check(s, str(tmp_path))
+    assert [d.name for d in report.regressions] == ["events"]
+
+
+def test_custom_tolerance_band(tmp_path):
+    res = ScenarioResult()
+    res.metric("noisy", 100.0, tol=0.10)
+    res2 = ScenarioResult()
+    res2.metric("noisy", 108.0, tol=0.10)   # +8% < 10%
+    s = make_scenario([res, res2])
+    record(s, str(tmp_path))
+    assert check(s, str(tmp_path)).ok
+
+
+def test_wallclock_collapse_warns_not_fails(tmp_path):
+    s = make_scenario([result(), result(rate=1e5)])  # 10x slower
+    record(s, str(tmp_path))
+    report = check(s, str(tmp_path))
+    assert report.ok
+    assert [d.name for d in report.warnings] == ["rate"]
+
+
+def test_wallclock_collapse_fails_when_strict(tmp_path):
+    s = make_scenario([result(), result(rate=1e5)])
+    record(s, str(tmp_path))
+    report = check(s, str(tmp_path), strict_wallclock=True)
+    assert not report.ok
+
+
+def test_wallclock_duration_direction(tmp_path):
+    """Seconds-style wall metrics regress when they grow, not shrink."""
+    def with_wall(seconds):
+        res = ScenarioResult()
+        res.metric("wall_s", seconds, kind="wallclock", unit="s")
+        return res
+    s = make_scenario([with_wall(1.0), with_wall(0.1), with_wall(8.0)])
+    record(s, str(tmp_path))
+    assert not check(s, str(tmp_path)).warnings          # 10x faster: fine
+    assert check(s, str(tmp_path)).warnings              # 8x slower: warn
+
+
+def test_faster_wallclock_rate_is_fine(tmp_path):
+    s = make_scenario([result(), result(rate=1e7)])
+    record(s, str(tmp_path))
+    report = check(s, str(tmp_path))
+    assert report.ok and not report.warnings
+
+
+def test_missing_metric_is_regression_new_metric_is_info(tmp_path):
+    s = make_scenario([result(extra="old_only"), result(extra=None)])
+    record(s, str(tmp_path))
+    report = check(s, str(tmp_path))
+    assert any(d.name == "old_only" and d.status == "regression"
+               for d in report.deviations)
+    s2 = make_scenario([result(extra=None), result(extra="brand_new")])
+    record(s2, str(tmp_path))
+    report2 = check(s2, str(tmp_path))
+    assert report2.ok
+    assert any(d.name == "brand_new" and d.status == "new"
+               for d in report2.deviations)
+
+
+def test_fresh_invariant_violation_is_regression(tmp_path):
+    s = make_scenario([result(inv=True), result(inv=False)])
+    record(s, str(tmp_path))
+    report = check(s, str(tmp_path))
+    assert not report.ok
+    assert any(d.name == "invariant:shape-holds" for d in report.regressions)
+    assert "detail line" in report.render()
+
+
+def test_missing_baseline_reports_error(tmp_path):
+    s = make_scenario([result()])
+    report = check(s, str(tmp_path))
+    assert not report.ok
+    assert "no baseline" in report.error
+
+
+def test_schema_mismatch_refuses_comparison(tmp_path):
+    s = make_scenario([result(), result()])
+    path = record(s, str(tmp_path))
+    doc = json.load(open(path))
+    doc["schema"] = SCHEMA_VERSION + 1
+    json.dump(doc, open(path, "w"))
+    with pytest.raises(ValueError, match="schema"):
+        load_baseline(s, str(tmp_path))
+    report = check(s, str(tmp_path))
+    assert not report.ok and "schema" in report.error
+
+
+def test_render_reports_summarizes(tmp_path):
+    good = make_scenario([result(), result()])
+    record(good, str(tmp_path))
+    text = render_reports([check(good, str(tmp_path))])
+    assert "within tolerance" in text
+    bad = make_scenario([result(), result(latency=99.0)])
+    record(bad, str(tmp_path))
+    text = render_reports([check(bad, str(tmp_path))])
+    assert "FAILED" in text and "synthetic" in text
+
+
+def test_metric_roundtrip():
+    m = Metric(3.5, kind="count", unit="events", tol=0.5)
+    assert Metric.from_dict(m.to_dict()) == m
+    assert Metric(1.0).tolerance() == pytest.approx(1e-3)
+    assert Metric(1.0, kind="count").tolerance() == 0.0
+    assert Metric(1.0, kind="wallclock").tolerance() is None
