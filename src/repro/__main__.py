@@ -13,7 +13,9 @@ Subcommands:
 * ``profile`` — cost-attribute one measurement into phases
   (``python -m repro profile --mode dev2dev-direct --size 64``),
 * ``bench`` — record/check benchmark-regression baselines
-  (``python -m repro bench --check --quick``).
+  (``python -m repro bench --check --quick``),
+* ``engine`` — sweep the GPU offload engine's optimizations and check its
+  acceptance invariants (``python -m repro engine --quick``).
 """
 
 import sys
@@ -36,6 +38,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "faults":
         from .faults.cli import main as faults_main
         return faults_main(argv[1:])
+    if argv and argv[0] == "engine":
+        from .engine.cli import main as engine_main
+        return engine_main(argv[1:])
     if argv and argv[0] == "report":
         argv = argv[1:]
     from .analysis.report import main as report_main

@@ -90,6 +90,51 @@ def ring_allreduce_steps(steps: int, nodes: int) -> Verdict:
     return ok, f"steps={steps}, expected 2*(N-1)={expected} for N={nodes}"
 
 
+def rate_at_least(rate: float, floor: float, rate_label: str = "rate",
+                  floor_label: str = "floor") -> Verdict:
+    """Throughput ordering: ``rate`` must meet or beat ``floor`` (e.g. the
+    offload engine's 32-connection message rate vs dev2dev-hostControlled
+    — losing to the CPU proxy would defeat the engine's purpose)."""
+    ok = rate >= floor
+    return ok, (f"{rate_label} {rate:.4g} "
+                f"{'>=' if ok else '<'} {floor_label} {floor:.4g}")
+
+
+def mmio_coalesced(doorbells: int, descriptors: int, batch_size: int,
+                   timeout_flushes: int = 0, lanes: int = 1) -> Verdict:
+    """Doorbell coalescing's defining bound: posting N descriptors with
+    batches of ``batch_size`` may ring at most ``ceil(N / batch_size)``
+    doorbells plus one per timeout-forced flush — and, since batches never
+    span connections, one extra partial-batch tail per additional lane
+    (``sum_c ceil(N_c/B) <= ceil(N/B) + L - 1``).  More means the batcher
+    leaked MMIO writes; the configured batch factor did not materialize."""
+    if batch_size < 1:
+        return False, f"batch_size must be >= 1, got {batch_size}"
+    if lanes < 1:
+        return False, f"lanes must be >= 1, got {lanes}"
+    bound = -(-descriptors // batch_size) + timeout_flushes + lanes - 1
+    ok = doorbells <= bound
+    return ok, (f"{doorbells} doorbells for {descriptors} descriptors "
+                f"over {lanes} lane(s) {'<=' if ok else 'EXCEEDS'} "
+                f"ceil(N/{batch_size})+{timeout_flushes} timeouts"
+                f"+{lanes - 1} tails = {bound}")
+
+
+def counter_reconciles(observed: float, expected: float,
+                       label: str = "counter",
+                       tolerance: float = 0.01) -> Verdict:
+    """Driver-side accounting vs the instrumented hardware counter/trace:
+    the two views of the same events must agree within ``tolerance``
+    relative error (exactly, when ``expected`` is zero)."""
+    if expected == 0:
+        ok = observed == 0
+        return ok, f"{label}: observed {observed:g}, expected exactly 0"
+    err = abs(observed - expected) / abs(expected)
+    ok = err <= tolerance
+    return ok, (f"{label}: observed {observed:g} vs expected {expected:g} "
+                f"({err * 100:.2f}% off, allowed {tolerance * 100:g}%)")
+
+
 def reliability_is_free(reliable_latency: float, bare_latency: float,
                         max_overhead: float = 0.10) -> Verdict:
     """At zero loss the retransmission engines may cost at most

@@ -82,6 +82,15 @@ def gpu_rma_wait_notification(ctx: ThreadCtx, cursor: GpuNotificationCursor,
             raise RmaError(f"GPU notification wait exceeded {max_polls} polls")
         if polls > 64:  # long wait: progressive backoff (see ThreadCtx.spin_until_u64)
             yield ctx.sim.timeout(min(1e-6 * (2 ** ((polls - 64) // 32)), 50e-6))
+    record = yield from _consume_notification(ctx, cursor)
+    span.end(polls=polls)
+    if trc.enabled:
+        trc.metrics.histogram("rma.notification_polls").observe(polls)
+    return record, polls
+
+
+def _consume_notification(ctx: ThreadCtx, cursor: GpuNotificationCursor):
+    """Read, decode, and free the current slot; advance the cursor."""
     raw = yield from ctx.load(cursor.slot_addr, 16)
     record = Notification.decode(raw)
     yield from ctx.alu(CONSUME_COST)
@@ -92,10 +101,27 @@ def gpu_rma_wait_notification(ctx: ThreadCtx, cursor: GpuNotificationCursor,
     cursor.read_index += 1
     yield from ctx.store_u32(cursor.queue.read_ptr_addr,
                              cursor.read_index % (1 << 32))
-    span.end(polls=polls)
+    return record
+
+
+def gpu_rma_try_notification(ctx: ThreadCtx, cursor: GpuNotificationCursor):
+    """Non-blocking notification check: one poll, consume on a hit.
+
+    The engine's scheduler interleaves many connections, so it cannot park
+    a thread in :func:`gpu_rma_wait_notification`'s spin loop; instead it
+    probes each cursor once per service pass.  A miss costs one PCIe load
+    plus the loop ALU work; a hit additionally pays the consume sequence.
+    Returns the :class:`Notification` or ``None``.
+    """
+    word0 = yield from ctx.load_u64(cursor.slot_addr)
+    yield from ctx.alu(POLL_LOOP_COST)
+    if not Notification.is_valid_word(word0):
+        return None
+    record = yield from _consume_notification(ctx, cursor)
+    trc = ctx.sim.tracer
     if trc.enabled:
-        trc.metrics.histogram("rma.notification_polls").observe(polls)
-    return record, polls
+        trc.metrics.counter("rma.try_notification_hits").inc()
+    return record
 
 
 def gpu_rma_poll_last_element(ctx: ThreadCtx, flag_addr: int, expected: int,

@@ -93,6 +93,9 @@ def run_extoll_message_rate(cluster: Cluster,
     elif method is RateMethod.HOST_CONTROLLED:
         handles = _extoll_rate_host(cluster, connections, per_connection,
                                     timing)
+    elif method in (RateMethod.ENGINE, RateMethod.ENGINE_BATCHED):
+        handles = _extoll_rate_engine(cluster, connections, per_connection,
+                                      timing, method)
     else:  # pragma: no cover
         raise BenchmarkError(f"unknown method {method}")
 
@@ -106,6 +109,20 @@ def run_extoll_message_rate(cluster: Cluster,
     return RatePoint(connections=len(connections),
                      messages=len(connections) * per_connection,
                      elapsed=timing.elapsed)
+
+
+def _extoll_rate_engine(cluster: Cluster, connections: List[ExtollConnection],
+                        per_connection: int, timing: _RateTiming,
+                        method: RateMethod) -> List:
+    """The offload-engine methods: one persistent proxy block multiplexes
+    every connection (import deferred — repro.engine builds on this
+    module)."""
+    from ..engine import EngineConfig, engine_extoll_rate_handles
+
+    config = (EngineConfig.all_on() if method is RateMethod.ENGINE_BATCHED
+              else EngineConfig.warp_only())
+    return engine_extoll_rate_handles(cluster, connections, per_connection,
+                                      timing, config)
 
 
 def _extoll_block_body(conn: ExtollConnection, per_connection: int,
@@ -230,6 +247,13 @@ def run_ib_message_rate(cluster: Cluster, connections: List[IbConnection],
                                     timing)
     elif method is RateMethod.HOST_CONTROLLED:
         handles = _ib_rate_host(cluster, connections, per_connection, timing)
+    elif method in (RateMethod.ENGINE, RateMethod.ENGINE_BATCHED):
+        from ..engine import EngineConfig, engine_ib_rate_handles
+
+        config = (EngineConfig.all_on() if method is RateMethod.ENGINE_BATCHED
+                  else EngineConfig.warp_only())
+        handles = engine_ib_rate_handles(cluster, connections, per_connection,
+                                         timing, config)
     else:  # pragma: no cover
         raise BenchmarkError(f"unknown method {method}")
 

@@ -1,0 +1,232 @@
+"""Doorbell coalescing and small-message aggregation — pure queueing logic.
+
+The offload engine's MMIO savings come from *when* it rings doorbells, not
+from how descriptors are built, so the flush decision lives here as plain
+data-structure code with no simulator dependency: the scheduler feeds
+submissions in, this module answers "flush now?" and with what, and the
+property tests (tests/engine) can exercise every policy corner without
+spinning up a cluster.
+
+Two independent mechanisms:
+
+* :class:`DoorbellBatcher` — queue descriptors per connection and release
+  them in batches, so one batched doorbell (one PCIe control TLP) posts N
+  descriptors instead of N trigger stores.  Flush triggers: descriptor
+  count, payload bytes, a timeout on the oldest queued descriptor, and an
+  explicit drain.
+* :class:`Aggregator` — merge runs of small back-to-back messages on one
+  connection into a single larger put, trading per-message NIC descriptor
+  decode (the ~2M WR/s requester cap) for payload size.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When does a connection's pending batch go to the NIC?
+
+    ``max_descriptors``
+        Flush as soon as this many descriptors are queued (1 = no
+        coalescing, every submission rings its own doorbell).
+    ``max_bytes``
+        Flush when queued payload bytes reach this (``None`` = unbounded).
+    ``timeout``
+        Flush when the oldest queued descriptor has waited this long in
+        simulated seconds (``None`` = wait for count/bytes/drain).  The
+        latency cost of coalescing is bounded by this knob.
+    """
+
+    max_descriptors: int = 8
+    max_bytes: Optional[int] = None
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_descriptors < 1:
+            raise ConfigError(
+                f"max_descriptors must be >= 1, got {self.max_descriptors}")
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ConfigError(f"max_bytes must be >= 1, got {self.max_bytes}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError(f"timeout must be > 0, got {self.timeout}")
+
+
+@dataclass(frozen=True)
+class Flush:
+    """One released batch: ring one doorbell for ``items``, in order."""
+
+    conn_id: int
+    items: Tuple[object, ...]
+    reason: str           # "count" | "bytes" | "timeout" | "drain"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class _Lane:
+    items: Deque[object] = field(default_factory=deque)
+    bytes: int = 0
+    oldest: float = 0.0   # submit time of the head item
+
+
+class DoorbellBatcher:
+    """Per-connection descriptor queues with a shared flush policy.
+
+    Correctness contract (the hypothesis properties in tests/engine):
+    every submitted item appears in exactly one flush, flushes preserve
+    per-connection FIFO order, no flush exceeds ``max_descriptors``, and —
+    absent byte-triggered flushes — the total number of flushes for a
+    connection with N submissions is at most
+    ``ceil(N / max_descriptors) + timeout_flushes``.
+    """
+
+    def __init__(self, policy: Optional[FlushPolicy] = None) -> None:
+        self.policy = policy or FlushPolicy()
+        # Ordered so timeout scans and drains are deterministic.
+        self._lanes: "OrderedDict[int, _Lane]" = OrderedDict()
+        self.doorbells = 0
+        self.descriptors = 0
+        self.count_flushes = 0
+        self.byte_flushes = 0
+        self.timeout_flushes = 0
+        self.drain_flushes = 0
+
+    def _lane(self, conn_id: int) -> _Lane:
+        lane = self._lanes.get(conn_id)
+        if lane is None:
+            lane = self._lanes[conn_id] = _Lane()
+        return lane
+
+    def _release(self, conn_id: int, lane: _Lane, reason: str) -> Flush:
+        take = min(len(lane.items), self.policy.max_descriptors)
+        items = tuple(lane.items.popleft() for _ in range(take))
+        lane.bytes = 0 if not lane.items else lane.bytes  # recomputed below
+        flush = Flush(conn_id, items, reason)
+        self.doorbells += 1
+        self.descriptors += take
+        setattr(self, f"{reason}_flushes",
+                getattr(self, f"{reason}_flushes") + 1)
+        return flush
+
+    def submit(self, conn_id: int, item: object, nbytes: int = 0,
+               now: float = 0.0) -> Optional[Flush]:
+        """Queue one descriptor; returns a :class:`Flush` if the policy
+        tripped, else ``None`` (the item stays pending)."""
+        lane = self._lane(conn_id)
+        if not lane.items:
+            lane.oldest = now
+        lane.items.append(item)
+        lane.bytes += nbytes
+        if len(lane.items) >= self.policy.max_descriptors:
+            return self._release(conn_id, lane, "count")
+        if self.policy.max_bytes is not None \
+                and lane.bytes >= self.policy.max_bytes:
+            flush = self._release(conn_id, lane, "byte")
+            # Queued-byte accounting is approximate after a partial
+            # release; zero it so byte flushes cannot cascade spuriously.
+            lane.bytes = 0
+            return flush
+        return None
+
+    def poll_timeouts(self, now: float) -> List[Flush]:
+        """Release every lane whose head item has waited past the policy
+        timeout.  Call from the scheduler's idle path."""
+        if self.policy.timeout is None:
+            return []
+        out = []
+        for conn_id, lane in self._lanes.items():
+            if lane.items and now - lane.oldest >= self.policy.timeout:
+                out.append(self._release(conn_id, lane, "timeout"))
+                lane.bytes = 0
+                lane.oldest = now
+        return out
+
+    def drain(self, conn_id: Optional[int] = None) -> List[Flush]:
+        """Flush everything pending (one connection, or all of them) —
+        the end-of-run tail, and the ``batch_size=1`` degenerate case."""
+        lanes = ([(conn_id, self._lane(conn_id))] if conn_id is not None
+                 else list(self._lanes.items()))
+        out = []
+        for cid, lane in lanes:
+            while lane.items:
+                out.append(self._release(cid, lane, "drain"))
+            lane.bytes = 0
+        return out
+
+    def pending(self, conn_id: Optional[int] = None) -> int:
+        if conn_id is not None:
+            return len(self._lane(conn_id).items)
+        return sum(len(lane.items) for lane in self._lanes.values())
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "doorbells": self.doorbells,
+            "descriptors": self.descriptors,
+            "count_flushes": self.count_flushes,
+            "byte_flushes": self.byte_flushes,
+            "timeout_flushes": self.timeout_flushes,
+            "drain_flushes": self.drain_flushes,
+        }
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A run of consecutive small messages merged into one put."""
+
+    conn_id: int
+    count: int
+    bytes: int
+
+
+class Aggregator:
+    """Merge back-to-back small messages on one connection into one put.
+
+    ``max_bytes`` caps the merged payload (the staging window in the send
+    buffer); a message larger than the cap passes through unmerged.  The
+    requester decodes ONE descriptor per aggregate, which is how the
+    engine beats the NIC's serial ~2M WR/s descriptor cap at 64 B.
+    """
+
+    def __init__(self, max_bytes: int = 256) -> None:
+        if max_bytes < 1:
+            raise ConfigError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._open: Dict[int, Tuple[int, int]] = {}  # conn -> (count, bytes)
+        self.messages = 0
+        self.aggregates = 0
+
+    def add(self, conn_id: int, nbytes: int) -> Optional[Aggregate]:
+        """Account one message; returns a completed :class:`Aggregate`
+        once the open run can no longer grow, else ``None``."""
+        self.messages += 1
+        count, total = self._open.get(conn_id, (0, 0))
+        if total + nbytes > self.max_bytes and count > 0:
+            # Close the open run, start a new one with this message.
+            self._open[conn_id] = (1, nbytes)
+            self.aggregates += 1
+            return Aggregate(conn_id, count, total)
+        count, total = count + 1, total + nbytes
+        if total >= self.max_bytes:
+            self._open[conn_id] = (0, 0)
+            self.aggregates += 1
+            return Aggregate(conn_id, count, total)
+        self._open[conn_id] = (count, total)
+        return None
+
+    def drain(self, conn_id: Optional[int] = None) -> List[Aggregate]:
+        conns = [conn_id] if conn_id is not None else list(self._open)
+        out = []
+        for cid in conns:
+            count, total = self._open.get(cid, (0, 0))
+            if count:
+                out.append(Aggregate(cid, count, total))
+                self.aggregates += 1
+                self._open[cid] = (0, 0)
+        return out

@@ -66,6 +66,33 @@ class ExtollConfig:
         return n / self.clock_hz
 
     @property
+    def batch_doorbell_offset(self) -> int:
+        """Offset inside a requester page of the batch doorbell word.
+
+        The engine's coalesced path stages several 24-byte descriptors at
+        the front of the page and then writes the descriptor *count* to
+        this final 64-bit word; the NIC decodes and posts them all from
+        one MMIO ring (one control TLP instead of one per descriptor).
+        """
+        return self.requester_page_size - 8
+
+    @property
+    def batch_region_offset(self) -> int:
+        """Start of the batch staging region inside a requester page.
+
+        Offsets below :data:`~repro.extoll.descriptor.WR_BYTES` keep the
+        classic trigger-on-final-word semantics; staging batched
+        descriptors above this offset cannot fire it by accident.
+        """
+        return 64
+
+    @property
+    def max_batch_descriptors(self) -> int:
+        """How many descriptors fit between staging region and doorbell."""
+        return ((self.batch_doorbell_offset - self.batch_region_offset)
+                // self.wr_bytes)
+
+    @property
     def requester_time(self) -> float:
         return self.cycles(self.requester_cycles)
 

@@ -61,6 +61,9 @@ class ExtollNic:
         self._ports: Dict[int, RmaPort] = {}
         self._next_port = 0
         self._kernel_alloc: Optional[Allocator] = None
+        # Batched-doorbell stats (engine's MMIO-coalescing path).
+        self.batch_doorbells = 0
+        self.batch_descriptors = 0
 
     # -- wiring (driver load) ------------------------------------------------------
     def attach(self, fabric: PcieFabric, bar_base: int,
@@ -126,14 +129,40 @@ class ExtollNic:
         return port
 
     def _make_page_handler(self, page_off: int):
+        cfg = self.config
+
         def handler(rel_off: int, data: bytes) -> None:
-            # The descriptor is executed when its final word arrives —
-            # whether posted as one 24-byte burst (CPU, write-combining) or
-            # as three 64-bit stores (a GPU thread).
-            if rel_off + len(data) >= WR_BYTES:
+            trc = self.sim.tracer
+            if rel_off >= cfg.batch_doorbell_offset:
+                # Batch doorbell: the page's staging region holds `count`
+                # descriptors; one control write posts them all (the
+                # engine's MMIO coalescing — one TLP instead of N).
+                count = int.from_bytes(self.bar.store.read(
+                    page_off + cfg.batch_doorbell_offset, 8), "little")
+                if not 1 <= count <= cfg.max_batch_descriptors:
+                    raise RmaError(
+                        f"{self.name}: batch doorbell count {count} outside "
+                        f"1..{cfg.max_batch_descriptors}")
+                base = page_off + cfg.batch_region_offset
+                wrs = [RmaWorkRequest.decode(
+                           self.bar.store.read(base + i * WR_BYTES, WR_BYTES))
+                       for i in range(count)]
+                if trc.enabled:
+                    trc.instant("rma", "batch-doorbell",
+                                track=f"{self.name}.bar", descriptors=count)
+                    trc.metrics.counter("rma.batch_doorbells").inc()
+                    trc.metrics.counter("rma.wr_triggers").inc(count)
+                self.batch_doorbells += 1
+                self.batch_descriptors += count
+                self.rma.post_many(wrs)
+            elif rel_off < WR_BYTES <= rel_off + len(data):
+                # The descriptor is executed when its final word arrives —
+                # whether posted as one 24-byte burst (CPU,
+                # write-combining), one wide store, or three 64-bit stores
+                # (a GPU thread).  Writes into the batch staging region
+                # above WR_BYTES never trigger this path.
                 raw = self.bar.store.read(page_off, WR_BYTES)
                 wr = RmaWorkRequest.decode(raw)
-                trc = self.sim.tracer
                 if trc.enabled:
                     trc.instant("rma", "wr-trigger", track=f"{self.name}.bar",
                                 port=wr.port, op=wr.op.name.lower(),

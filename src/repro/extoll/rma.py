@@ -56,6 +56,7 @@ class RmaUnit:
         self.packets_handled = 0
         self.notifications_written = 0
         self.corrupt_dropped = 0
+        self.batched_wrs = 0
         # Hooks invoked (plain callbacks, no simulated cost) after a put's
         # payload DMA completes; the reliability layer registers duplicate
         # detectors here.  Empty by default: one truthiness check per put.
@@ -79,6 +80,17 @@ class RmaUnit:
     # -- posting (called from the BAR write handler) -----------------------------
     def post(self, wr: RmaWorkRequest) -> None:
         self.req_inbox.put(wr)
+
+    def post_many(self, wrs) -> None:
+        """Post one batch-doorbell's worth of descriptors, in order.
+
+        Each still pays the serial ``requester_time`` decode in
+        :meth:`_requester_loop`; the batch only saves the *MMIO* cost of
+        ringing them individually.
+        """
+        for wr in wrs:
+            self.req_inbox.put(wr)
+        self.batched_wrs += len(wrs)
 
     def _next_seq(self, port: int) -> int:
         self._seq[port] = self._seq.get(port, 0) + 1

@@ -95,6 +95,25 @@ class ThreadCtx:
         self.gpu.counters.instructions_executed += n
         yield self.sim.timeout(n * self.gpu.config.instruction_time)
 
+    def alu_parallel(self, n: int, lanes: int) -> Generator:
+        """Issue ``n`` ALU instructions spread over ``lanes`` warp threads.
+
+        Models thread-collaborative descriptor/WQE assembly: the warp's
+        lanes each build a slice of the descriptor, so the *critical path*
+        is ``ceil(n / lanes)`` dependent instructions, while the counters
+        still record all ``n`` issued instructions (work is conserved; only
+        latency shrinks).  ``lanes=1`` degenerates to :meth:`alu`.
+        """
+        if n < 0:
+            raise GpuError(f"negative instruction count {n}")
+        if lanes < 1 or lanes > 32:
+            raise GpuError(f"lanes must be 1..32 (one warp), got {lanes}")
+        if n == 0:
+            return
+        self.gpu.counters.instructions_executed += n
+        critical = -(-n // lanes)
+        yield self.sim.timeout(critical * self.gpu.config.instruction_time)
+
     # -- address classification -------------------------------------------------------
     def _classify(self, vaddr: int, size: int, write: bool) -> tuple[int, MemorySpace]:
         phys = self.gpu.uva.translate(vaddr, size, write=write)

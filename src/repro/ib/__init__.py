@@ -18,6 +18,7 @@ from .verbs import (
 )
 from .wqe import (
     WQE_BYTES,
+    WQE_FLAG_UNSIGNALED,
     IbOpcode,
     Wqe,
     poll_cq_instruction_cost,
@@ -50,6 +51,7 @@ __all__ = [
     "IbOpcode",
     "Wqe",
     "WQE_BYTES",
+    "WQE_FLAG_UNSIGNALED",
     "poll_cq_instruction_cost",
     "post_send_instruction_cost",
     "post_send_instruction_cost_static_optimized",

@@ -51,13 +51,21 @@ def run_traced_pingpong(fabric: str, mode_name: str, size: int,
     measurement, and return ``(tracer, point)``."""
     tracer = tracer or SpanTracer()
     sim = Simulator(tracer=tracer)
-    mode = _mode_for(fabric, mode_name)
     if fabric == "extoll":
+        from ..engine import PINGPONG_CONFIGS, run_engine_pingpong
+
         cluster = build_extoll_cluster(sim=sim)
         conn = setup_extoll_connection(cluster, max(_BUF_BYTES, size))
-        point = run_extoll_pingpong(cluster, conn, mode, size,
-                                    iterations=iterations, warmup=warmup)
+        if mode_name in PINGPONG_CONFIGS:
+            point = run_engine_pingpong(cluster, conn, size,
+                                        iterations=iterations, warmup=warmup,
+                                        config=PINGPONG_CONFIGS[mode_name])
+        else:
+            mode = _mode_for(fabric, mode_name)
+            point = run_extoll_pingpong(cluster, conn, mode, size,
+                                        iterations=iterations, warmup=warmup)
     else:
+        mode = _mode_for(fabric, mode_name)
         cluster = build_ib_cluster(sim=sim)
         location = "host" if mode is IbMode.BUF_ON_HOST else "gpu"
         conn = setup_ib_connection(cluster, max(_BUF_BYTES, size), location)
@@ -75,7 +83,8 @@ def main(argv=None) -> int:
     parser.add_argument("--mode", default="dev2dev-direct",
                         help="communication mode, e.g. dev2dev-direct, "
                              "dev2dev-pollOnGPU, dev2dev-assisted, "
-                             "dev2dev-hostControlled (default: dev2dev-direct)")
+                             "dev2dev-hostControlled, dev2dev-engine, "
+                             "dev2dev-engineBatched (default: dev2dev-direct)")
     parser.add_argument("--size", type=int, default=64,
                         help="message size in bytes (default: 64)")
     parser.add_argument("--iterations", type=int, default=30,

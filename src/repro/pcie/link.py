@@ -14,7 +14,12 @@ from typing import Generator
 from ..errors import ConfigError
 from ..sim import NULL_SPAN, Event, Resource, Simulator
 from ..units import GB_PER_S, NS
-from .tlp import Tlp
+from .tlp import Tlp, TlpKind
+
+#: Posted writes at or below this payload are control traffic (doorbells,
+#: flags, read pointers) rather than data movement; the link counts them
+#: separately so MMIO-coalescing optimizations show up in the books.
+CTRL_WRITE_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,8 @@ class PcieLink:
         self.tlps_down = 0
         self.bytes_up = 0
         self.bytes_down = 0
+        self.ctrl_writes_up = 0
+        self.ctrl_writes_down = 0
 
     def _send(self, direction: Resource, tlp: Tlp,
               bandwidth: float) -> Generator[Event, None, None]:
@@ -71,17 +78,23 @@ class PcieLink:
         finally:
             span.end()
             direction.release()
+        ctrl = (tlp.kind is TlpKind.MEM_WRITE
+                and tlp.length <= CTRL_WRITE_BYTES)
         if up:
             self.tlps_up += 1
             self.bytes_up += tlp.length
+            self.ctrl_writes_up += ctrl
         else:
             self.tlps_down += 1
             self.bytes_down += tlp.length
+            self.ctrl_writes_down += ctrl
         yield self.sim.timeout(self.config.latency)
         if trc.enabled:
             m = trc.metrics
             m.counter(f"pcie.tlps_{'up' if up else 'down'}").inc()
             m.counter("pcie.wire_bytes").inc(tlp.wire_bytes)
+            if ctrl:
+                m.counter("pcie.ctrl_writes").inc()
 
     def send_up(self, tlp: Tlp, bandwidth: float | None = None) -> Generator:
         """Device -> root complex.  ``bandwidth`` overrides the link rate

@@ -231,6 +231,86 @@ def faults_overhead() -> ScenarioResult:
     return res
 
 
+# -- offload engine -------------------------------------------------------------
+
+@_register("engine-latency",
+           "Offload-engine ping-pong latency vs dev2dev-direct: baseline, "
+           "warp-parallel, batched, all-on")
+def engine_latency() -> ScenarioResult:
+    from ..engine import EngineConfig, run_engine_pingpong
+
+    res = ScenarioResult()
+    variants = [("baseline", EngineConfig.baseline()),
+                ("warp", EngineConfig.warp_only()),
+                ("batch", EngineConfig.batch_only()),
+                ("all", EngineConfig.all_on())]
+    points = {}
+    for size in (64, 4 * KIB):
+        p = _extoll_point(ExtollMode.DIRECT, size)
+        points[("direct", size)] = p
+        res.metric(f"direct/{size}B/latency_us", p.latency_us, unit="us")
+        for name, config in variants:
+            cluster = build_extoll_cluster()
+            conn = setup_extoll_connection(cluster, max(size, 4 * KIB))
+            p = run_engine_pingpong(cluster, conn, size, iterations=10,
+                                    warmup=2, config=config)
+            points[(name, size)] = p
+            res.metric(f"engine-{name}/{size}B/latency_us", p.latency_us,
+                       unit="us")
+            res.metric(f"engine-{name}/{size}B/post_us", p.post_time * 1e6,
+                       unit="us")
+    res.invariant("engine-all-beats-direct-64B", inv.faster_than(
+        points[("all", 64)].latency, points[("direct", 64)].latency,
+        "engine-all", "direct"))
+    res.invariant("engine-baseline-matches-direct", inv.counter_reconciles(
+        points[("baseline", 64)].latency, points[("direct", 64)].latency,
+        "baseline latency", tolerance=0.001))
+    res.invariant("warp-parallelism-helps", inv.faster_than(
+        points[("warp", 64)].post_time, points[("baseline", 64)].post_time,
+        "warp post", "baseline post"))
+    return res
+
+
+@_register("engine-rate",
+           "Offload-engine 32-connection message rate vs hostControlled, "
+           "with MMIO-coalescing accounting")
+def engine_rate() -> ScenarioResult:
+    from ..core.modes import RateMethod
+    from ..core.message_rate import run_extoll_message_rate
+    from ..core.setup import setup_extoll_connections
+    from ..engine import EngineConfig, run_engine_message_rate
+
+    res = ScenarioResult()
+    connections, per_connection = 32, 40
+    cluster = build_extoll_cluster()
+    conns = setup_extoll_connections(cluster, 4 * KIB, connections)
+    host = run_extoll_message_rate(cluster, conns, RateMethod.HOST_CONTROLLED,
+                                   per_connection=per_connection)
+    res.metric("hostControlled/mmsgs_per_s", host.messages_per_s / 1e6,
+               unit="M/s")
+    rates = {}
+    for name, config in (("warp", EngineConfig.warp_only()),
+                         ("all", EngineConfig.all_on())):
+        cluster = build_extoll_cluster()
+        conns = setup_extoll_connections(cluster, 4 * KIB, connections)
+        point, stats = run_engine_message_rate(cluster, conns, config,
+                                               per_connection=per_connection)
+        rates[name] = point
+        res.metric(f"engine-{name}/mmsgs_per_s", point.messages_per_s / 1e6,
+                   unit="M/s")
+        res.metric(f"engine-{name}/doorbell_mmio", stats.doorbells,
+                   kind="count")
+        res.metric(f"engine-{name}/descriptors", stats.wrs, kind="count")
+        if name == "all":
+            res.invariant("mmio-coalesced", inv.mmio_coalesced(
+                stats.doorbells, stats.wrs, config.batch_size,
+                stats.timeout_flushes, lanes=connections))
+    res.invariant("engine-all-beats-host-controlled", inv.rate_at_least(
+        rates["all"].messages_per_s, host.messages_per_s,
+        "engine-all msg/s", "hostControlled msg/s"))
+    return res
+
+
 # -- simulator throughput -------------------------------------------------------
 
 @_register("sim-throughput",

@@ -1,0 +1,111 @@
+"""The engine proxy over reliable channels under injected faults.
+
+The proxy multiplexes msglib channels exactly as it multiplexes raw
+connections — so when the links drop and corrupt packets, the reliability
+layer underneath must keep every channel's stream intact, and the whole
+stack (engine scheduling + retransmission timers + fault injection) must
+replay deterministically from the seed.
+"""
+
+import pytest
+
+from repro import build_extoll_cluster
+from repro.core.msglib import create_channel_between
+from repro.engine import (
+    EngineConfig,
+    channel_payload,
+    run_engine_channel_traffic,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim import Simulator
+
+N_CHANNELS = 2
+PER_CHANNEL = 8
+PAYLOAD = 32
+
+
+def make_testbed(plan, seed=1, reliable=True):
+    sim = Simulator(seed=seed)
+    cluster = build_extoll_cluster(sim=sim)
+    channels = [create_channel_between(cluster, cluster.a, cluster.b,
+                                       slots=4, port_id=j, reliable=reliable)
+                for j in range(N_CHANNELS)]
+    injector = FaultInjector(sim, plan).attach(cluster.net)
+    return cluster, channels, injector
+
+
+def expected_payloads():
+    return [[channel_payload(j, i, PAYLOAD) for i in range(PER_CHANNEL)]
+            for j in range(N_CHANNELS)]
+
+
+def run_traffic(cluster, channels, config=None):
+    return run_engine_channel_traffic(cluster, channels, PER_CHANNEL,
+                                      payload_bytes=PAYLOAD, config=config)
+
+
+@pytest.mark.quick
+def test_engine_traffic_clean_links():
+    cluster, channels, injector = make_testbed(FaultPlan.none())
+    result = run_traffic(cluster, channels)
+    assert result["received"] == expected_payloads()
+    assert injector.states == {}
+    assert all(ch.a_to_b.reliability.retransmits == 0 for ch in channels)
+
+
+def test_engine_traffic_survives_loss_and_corruption():
+    """Lossy links under the engine proxy: every channel still receives
+    its full stream, in order, with the retransmission engines visibly
+    doing the repair work."""
+    cluster, channels, injector = make_testbed(
+        FaultPlan.uniform(loss=0.15, corrupt=0.1, seed=3))
+    result = run_traffic(cluster, channels)
+    assert result["received"] == expected_payloads()
+    assert injector.drops + injector.corruptions > 0
+    assert sum(ch.a_to_b.reliability.retransmits
+               + ch.b_to_a.reliability.retransmits for ch in channels) > 0
+    assert all(end.reliability.error is None
+               for ch in channels for end in (ch.a_to_b, ch.b_to_a))
+
+
+def test_engine_traffic_priority_policy_under_loss():
+    cluster, channels, injector = make_testbed(
+        FaultPlan.uniform(loss=0.08, seed=5))
+    config = EngineConfig(policy="priority",
+                          priorities=tuple(range(N_CHANNELS)))
+    result = run_traffic(cluster, channels, config=config)
+    assert result["received"] == expected_payloads()
+    assert injector.drops > 0
+
+
+def test_engine_traffic_replays_deterministically():
+    """Same seed, same plan: the full engine x reliability x faults stack
+    must reproduce identical payloads, identical finish time, identical
+    drop/retransmit counts — the property the chaos sweeps lean on."""
+    outcomes = []
+    for _ in range(2):
+        cluster, channels, injector = make_testbed(
+            FaultPlan.uniform(loss=0.12, corrupt=0.06, seed=11), seed=4)
+        result = run_traffic(cluster, channels)
+        outcomes.append((
+            result["finished_at"],
+            result["received"],
+            injector.drops,
+            injector.corruptions,
+            tuple(ch.a_to_b.reliability.retransmits for ch in channels),
+        ))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_engine_traffic_different_seed_changes_the_schedule():
+    """The determinism above is seed-driven, not accidental: a different
+    fault seed must actually perturb the run (different faults fire)."""
+    runs = []
+    for fault_seed in (11, 12):
+        cluster, channels, injector = make_testbed(
+            FaultPlan.uniform(loss=0.12, corrupt=0.06, seed=fault_seed),
+            seed=4)
+        result = run_traffic(cluster, channels)
+        assert result["received"] == expected_payloads()
+        runs.append((result["finished_at"], injector.drops))
+    assert runs[0] != runs[1]

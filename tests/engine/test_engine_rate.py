@@ -1,0 +1,155 @@
+"""The engine proxy under the Fig. 2 / Fig. 5 message-rate experiments."""
+
+import pytest
+
+from repro import build_extoll_cluster
+from repro.analysis import invariants as inv
+from repro.cluster import build_ib_cluster
+from repro.core import setup_extoll_connections
+from repro.core.message_rate import (
+    MESSAGE_BYTES,
+    run_extoll_message_rate,
+    run_ib_message_rate,
+)
+from repro.core.modes import RateMethod
+from repro.core.setup import setup_ib_connections
+from repro.engine import (
+    EngineConfig,
+    aggregate_schedule,
+    run_engine_ib_message_rate,
+    run_engine_message_rate,
+)
+from repro.sim import Simulator
+from repro.units import KIB
+
+N_CONNS = 4
+PER_CONN = 30
+BUF = 16 * KIB
+
+
+def fresh_extoll(seed=7):
+    cluster = build_extoll_cluster(sim=Simulator(seed=seed))
+    return cluster, setup_extoll_connections(cluster, BUF, N_CONNS)
+
+
+def fresh_ib(seed=7):
+    cluster = build_ib_cluster(sim=Simulator(seed=seed))
+    return cluster, setup_ib_connections(cluster, BUF, N_CONNS)
+
+
+# -- aggregation schedule -----------------------------------------------------
+
+@pytest.mark.quick
+def test_aggregate_schedule_merges_and_conserves_bytes():
+    sizes = aggregate_schedule(30, MESSAGE_BYTES, 256)
+    assert sum(sizes) == 30 * MESSAGE_BYTES
+    assert sizes == [256] * 7 + [128]       # runs of four, partial tail
+
+
+@pytest.mark.quick
+def test_aggregate_schedule_disabled_is_identity():
+    assert aggregate_schedule(5, 64, 0) == [64] * 5
+    assert aggregate_schedule(5, 64, 64) == [64] * 5
+
+
+# -- EXTOLL -------------------------------------------------------------------
+
+def test_engine_all_on_beats_host_controlled():
+    """The acceptance ordering at a modest connection count: one proxy
+    block with every optimization armed out-rates the CPU proxy."""
+    cluster, conns = fresh_extoll()
+    host = run_extoll_message_rate(cluster, conns, RateMethod.HOST_CONTROLLED,
+                                   per_connection=PER_CONN)
+    cluster, conns = fresh_extoll()
+    engine, _ = run_engine_message_rate(cluster, conns,
+                                        per_connection=PER_CONN)
+    assert engine.messages_per_s >= host.messages_per_s
+
+
+def test_engine_stats_reconcile_with_hardware_counters():
+    """Driver accounting vs the NIC: every WR and every doorbell the
+    engine thinks it issued must show up in hardware, and the coalescing
+    bound must hold."""
+    cluster, conns = fresh_extoll()
+    config = EngineConfig.all_on()
+    point, stats = run_engine_message_rate(cluster, conns, config,
+                                           per_connection=PER_CONN)
+    nic = cluster.a.nic
+    assert stats.messages == N_CONNS * PER_CONN == point.messages
+    assert stats.wrs < stats.messages            # aggregation bit
+    assert stats.doorbells < stats.wrs           # coalescing bit
+    assert nic.batch_doorbells == stats.batches
+    assert nic.batch_descriptors == stats.wrs
+    ok, detail = inv.mmio_coalesced(stats.doorbells, stats.wrs,
+                                    config.batch_size, stats.timeout_flushes,
+                                    lanes=N_CONNS)
+    assert ok, detail
+
+
+def test_engine_baseline_issues_one_doorbell_per_message():
+    cluster, conns = fresh_extoll()
+    _, stats = run_engine_message_rate(cluster, conns,
+                                       EngineConfig.baseline(),
+                                       per_connection=PER_CONN)
+    assert stats.wrs == stats.messages
+    assert stats.doorbells == stats.wrs
+    assert stats.batches == 0
+    assert cluster.a.nic.batch_doorbells == 0    # classic trigger path
+
+
+def test_rate_method_dispatch_routes_to_the_engine():
+    """RateMethod.ENGINE_BATCHED through the generic entry point must be
+    the engine proxy: identical rate to calling the driver directly."""
+    cluster, conns = fresh_extoll()
+    via_method = run_extoll_message_rate(cluster, conns,
+                                         RateMethod.ENGINE_BATCHED,
+                                         per_connection=PER_CONN)
+    cluster, conns = fresh_extoll()
+    direct, _ = run_engine_message_rate(cluster, conns,
+                                        EngineConfig.all_on(),
+                                        per_connection=PER_CONN)
+    assert via_method.messages_per_s == direct.messages_per_s
+    cluster, conns = fresh_extoll()
+    via_engine = run_extoll_message_rate(cluster, conns, RateMethod.ENGINE,
+                                         per_connection=PER_CONN)
+    cluster, conns = fresh_extoll()
+    warp, _ = run_engine_message_rate(cluster, conns,
+                                      EngineConfig.warp_only(),
+                                      per_connection=PER_CONN)
+    assert via_engine.messages_per_s == warp.messages_per_s
+
+
+def test_priority_policy_completes_with_identical_totals():
+    cluster, conns = fresh_extoll()
+    config = EngineConfig(policy="priority", priorities=(3, 2, 1, 0))
+    point, stats = run_engine_message_rate(cluster, conns, config,
+                                           per_connection=PER_CONN)
+    assert point.messages == stats.messages == N_CONNS * PER_CONN
+    assert stats.wrs == cluster.a.nic.batch_descriptors
+
+
+# -- InfiniBand ---------------------------------------------------------------
+
+def test_ib_engine_batches_doorbells_and_suppresses_cqes():
+    cluster, conns = fresh_ib()
+    config = EngineConfig.all_on()
+    point, stats = run_engine_ib_message_rate(cluster, conns, config,
+                                              per_connection=PER_CONN)
+    assert point.messages == stats.messages == N_CONNS * PER_CONN
+    assert stats.wrs == stats.messages           # IB batches, never merges
+    assert stats.doorbells < stats.wrs           # cumulative-index coalescing
+    # Selective signaling: only each batch's tail WQE completes, so hits
+    # track doorbells (flushes), not WQEs.
+    assert stats.poll_hits == stats.doorbells
+
+
+def test_ib_engine_outrates_gpu_dispatch_at_scale():
+    """The engine's batched path vs the paper's one-block-per-QP GPU
+    dispatch (its best GPU-controlled IB rate)."""
+    cluster, conns = fresh_ib()
+    blocks = run_ib_message_rate(cluster, conns, RateMethod.BLOCKS,
+                                 per_connection=PER_CONN)
+    cluster, conns = fresh_ib()
+    engine = run_ib_message_rate(cluster, conns, RateMethod.ENGINE_BATCHED,
+                                 per_connection=PER_CONN)
+    assert engine.messages_per_s > blocks.messages_per_s
