@@ -15,7 +15,10 @@ Subcommands:
 * ``bench`` — record/check benchmark-regression baselines
   (``python -m repro bench --check --quick``),
 * ``engine`` — sweep the GPU offload engine's optimizations and check its
-  acceptance invariants (``python -m repro engine --quick``).
+  acceptance invariants (``python -m repro engine --quick``),
+* ``monitor`` — run a scenario under the live telemetry plane: sampled
+  time series, SLO verdicts, flight-recorder dumps
+  (``python -m repro monitor engine --quick``).
 """
 
 import sys
@@ -41,6 +44,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "engine":
         from .engine.cli import main as engine_main
         return engine_main(argv[1:])
+    if argv and argv[0] == "monitor":
+        from .telemetry.cli import main as monitor_main
+        return monitor_main(argv[1:])
     if argv and argv[0] == "report":
         argv = argv[1:]
     from .analysis.report import main as report_main

@@ -72,16 +72,28 @@ def run_chaos_point(mode: CollectiveMode, size: int, loss: float,
                     warmup: int = 1, seed: int = 1,
                     plan_seed: int = 1, slots: int = 16,
                     reliability_config: Optional[ReliabilityConfig] = None,
-                    tracer=None):
+                    tracer=None, sim: Optional[Simulator] = None,
+                    on_setup=None):
     """One collective under one fault level; returns
-    ``(ChaosPoint, Communicator, FaultInjector)``."""
-    sim = Simulator(seed=seed, tracer=tracer)
+    ``(ChaosPoint, Communicator, FaultInjector)``.
+
+    Pass ``sim`` to supply a pre-built simulator (e.g. one carrying a live
+    telemetry plane; ``seed`` is then ignored in its favor), and
+    ``on_setup(sim, cluster, comm, injector)`` to hook observers up after
+    wiring but before the measured run starts.
+    """
+    if sim is None:
+        sim = Simulator(seed=seed, tracer=tracer)
+    else:
+        seed = sim.seed
     cluster, comm = build_communicator(
         nodes, size, mode, sim=sim, slots=slots, reliable=True,
         reliability_config=reliability_config)
     plan = (FaultPlan.uniform(loss=loss, corrupt=corrupt, seed=plan_seed)
             if (loss or corrupt) else FaultPlan.none())
     injector = FaultInjector(sim, plan).attach(cluster.net)
+    if on_setup is not None:
+        on_setup(sim, cluster, comm, injector)
     result = run_collective(cluster, comm, op, size,
                             iterations=iterations, warmup=warmup)
     comm.check_reliability_errors()

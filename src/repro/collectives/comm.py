@@ -125,6 +125,28 @@ class Communicator:
     def retransmits(self) -> int:
         return sum(e.retransmits for e in self.reliability_engines)
 
+    # -- uniform stats protocol ---------------------------------------------------
+    GAUGES = ("outstanding",)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Aggregate reliability stats across every engine, in the uniform
+        ``snapshot()/diff()`` shape the telemetry sampler polls."""
+        out = {"retransmits": 0, "timeouts": 0, "ack_replays": 0,
+               "exhausted": 0, "outstanding": 0}
+        for engine in self.reliability_engines:
+            for name, value in engine.snapshot().items():
+                out[name] += value
+        return out
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for name, value in self.snapshot().items():
+            if name in self.GAUGES:
+                out[name] = value
+            else:
+                out[name] = value - earlier.get(name, 0)
+        return out
+
     def check_reliability_errors(self) -> None:
         """Raise the first RetryExhaustedError any engine recorded."""
         for engine in self.reliability_engines:

@@ -69,8 +69,13 @@ def gpu_rma_wait_notification(ctx: ThreadCtx, cursor: GpuNotificationCursor,
     ``(Notification, polls)``.
     """
     trc = ctx.sim.tracer
-    span = (trc.begin("rma.api", "wait-notification", track=ctx.track)
-            if trc.enabled else NULL_SPAN)
+    # Notification waits are the polling layer — one span per *wait*, but
+    # there are as many waits as messages, so this is a microscopic
+    # category ("rma.poll") that the telemetry flight recorder filters out
+    # by default; gate on wants() so the filtered case pays one check.
+    traced = trc.wants("rma.poll")
+    span = (trc.begin("rma.poll", "wait-notification", track=ctx.track)
+            if traced else NULL_SPAN)
     polls = 0
     while True:
         word0 = yield from ctx.load_u64(cursor.slot_addr)
@@ -84,7 +89,7 @@ def gpu_rma_wait_notification(ctx: ThreadCtx, cursor: GpuNotificationCursor,
             yield ctx.sim.timeout(min(1e-6 * (2 ** ((polls - 64) // 32)), 50e-6))
     record = yield from _consume_notification(ctx, cursor)
     span.end(polls=polls)
-    if trc.enabled:
+    if traced:
         trc.metrics.histogram("rma.notification_polls").observe(polls)
     return record, polls
 

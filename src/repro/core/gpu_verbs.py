@@ -130,15 +130,18 @@ def gpu_wait_cq(ctx: ThreadCtx, consumer: GpuCqConsumer,
     """Spin :func:`gpu_poll_cq` until a completion arrives.  Returns
     ``(Cqe, polls)``."""
     trc = ctx.sim.tracer
-    span = (trc.begin("ib.api", "gpu_wait_cq", track=ctx.track)
-            if trc.enabled else NULL_SPAN)
+    # Polling layer ("ib.poll"): per-message span volume, filtered out of
+    # the telemetry flight recorder by default (see gpu_rma_wait_notification).
+    traced = trc.wants("ib.poll")
+    span = (trc.begin("ib.poll", "gpu_wait_cq", track=ctx.track)
+            if traced else NULL_SPAN)
     polls = 0
     while True:
         cqe = yield from gpu_poll_cq(ctx, consumer)
         polls += 1
         if cqe is not None:
             span.end(polls=polls)
-            if trc.enabled:
+            if traced:
                 trc.metrics.histogram("ib.gpu_cq_polls").observe(polls)
             return cqe, polls
         if max_polls is not None and polls >= max_polls:

@@ -131,7 +131,14 @@ PINGPONG_CONFIGS: Dict[str, EngineConfig] = {
 @dataclass
 class EngineStats:
     """Driver-side accounting of one engine run — reconciled against the
-    NIC's hardware counters and the span trace by the invariant checks."""
+    NIC's hardware counters and the span trace by the invariant checks.
+
+    Every field except ``inflight`` is a monotonic counter; ``inflight`` is
+    a gauge (descriptors posted but not yet reaped) maintained live by the
+    proxy loops so the telemetry sampler can read proxy occupancy mid-run.
+    Implements the uniform ``snapshot()``/``diff()`` protocol the sampler
+    polls (:mod:`repro.telemetry.sampler`).
+    """
 
     messages: int = 0
     wrs: int = 0                 # descriptors/WQEs handed to the NIC
@@ -142,9 +149,29 @@ class EngineStats:
     backoff_yields: int = 0
     polls: int = 0               # completion probes
     poll_hits: int = 0
+    inflight: int = 0            # GAUGE: posted minus reaped descriptors
+
+    #: Fields that are instantaneous levels, not monotonic totals.
+    GAUGES = ("inflight",)
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of every counter and gauge (plain dict)."""
+        return self.as_dict()
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Counters accumulated since ``earlier`` (a prior
+        :meth:`snapshot`); gauges report their *current* level, not a
+        delta.  Fields unseen by ``earlier`` diff against zero."""
+        out = {}
+        for name, value in self.as_dict().items():
+            if name in self.GAUGES:
+                out[name] = value
+            else:
+                out[name] = value - earlier.get(name, 0)
+        return out
 
 
 def aggregate_schedule(per_connection: int, message_bytes: int,
@@ -269,7 +296,6 @@ def engine_extoll_rate_handles(cluster: Cluster,
         per_connection, MESSAGE_BYTES,
         config.aggregate_bytes if config.aggregating else 0)
     target_wrs = len(schedule)
-    stats.messages += per_connection * lanes_n
 
     def make_wr(conn: ExtollConnection, nbytes: int,
                 signal: bool) -> RmaWorkRequest:
@@ -321,6 +347,10 @@ def engine_extoll_rate_handles(cluster: Cluster,
                     stats.doorbells += 1
                     inflight[j].append(1)
             stats.wrs += len(wrs)
+            stats.inflight += len(wrs)
+            # Live message accounting (each aggregate carries size/64B
+            # messages) so rate samplers see progress, not an upfront total.
+            stats.messages += sum(nbytes // MESSAGE_BYTES for nbytes in sizes)
             posted[j] += len(wrs)
 
         def lane_done(j: int) -> bool:
@@ -359,7 +389,9 @@ def engine_extoll_rate_handles(cluster: Cluster,
                     stats.polls += 1
                     note = yield from gpu_rma_try_notification(ctx, cursors[j])
                     if note is not None:
-                        reaped[j] += inflight[j].popleft()
+                        done = inflight[j].popleft()
+                        reaped[j] += done
+                        stats.inflight -= done
                         stats.poll_hits += 1
                         progressed = True
             if progressed:
@@ -381,17 +413,20 @@ def run_engine_message_rate(cluster: Cluster,
                             connections: Sequence[ExtollConnection],
                             config: Optional[EngineConfig] = None,
                             per_connection: int = 120,
+                            stats: Optional[EngineStats] = None,
                             ) -> Tuple[RatePoint, EngineStats]:
     """The Fig. 2 message-rate experiment through the engine proxy.
     Returns the measured :class:`RatePoint` plus the engine's accounting
-    (for the MMIO-coalescing invariants)."""
+    (for the MMIO-coalescing invariants).  Pass ``stats`` to share the
+    accounting object with a live observer (the telemetry sampler polls it
+    mid-run); omitted, a fresh one is created."""
     if not connections:
         raise BenchmarkError("need at least one connection")
     if per_connection < 1:
         raise BenchmarkError("need at least one message per connection")
     config = config or EngineConfig.all_on()
     timing = _RateTiming()
-    stats = EngineStats()
+    stats = stats if stats is not None else EngineStats()
     for conn in connections:
         conn.a.reset_flags()
         conn.b.reset_flags()
@@ -426,7 +461,6 @@ def engine_ib_rate_handles(cluster: Cluster,
     stats = stats if stats is not None else EngineStats()
     gpu = connections[0].a.node.gpu
     lanes_n = len(connections)
-    stats.messages += per_connection * lanes_n
 
     def make_wqe(conn: IbConnection, wr_id: int, signal: bool) -> Wqe:
         return Wqe(opcode=IbOpcode.RDMA_WRITE, wr_id=wr_id,
@@ -466,6 +500,8 @@ def engine_ib_rate_handles(cluster: Cluster,
                         conn.a.sq_index, config.wqe_lanes)
                     posted[j] += k
                     stats.wrs += k
+                    stats.inflight += k
+                    stats.messages += k   # IB: one WQE per message, live
                     stats.doorbells += 1
                     if k > 1:
                         stats.batches += 1
@@ -478,7 +514,9 @@ def engine_ib_rate_handles(cluster: Cluster,
                     stats.polls += 1
                     cqe = yield from gpu_poll_cq(ctx, consumers[j])
                     if cqe is not None:
-                        reaped[j] += inflight[j].popleft()
+                        done = inflight[j].popleft()
+                        reaped[j] += done
+                        stats.inflight -= done
                         stats.poll_hits += 1
                         progressed = True
             if progressed:

@@ -50,8 +50,11 @@ def rma_wait_notification(ctx: HostThread, cursor: NotificationCursor,
     """Spin on the next queue slot until its valid bit is set, then consume
     and free it.  Returns the decoded :class:`Notification`."""
     trc = ctx.sim.tracer
-    span = (trc.begin("rma.api", "wait-notification", track=ctx.track)
-            if trc.enabled else NULL_SPAN)
+    # Polling layer (see gpu_rma_wait_notification): per-message span
+    # volume, filtered out of the flight recorder by default.
+    traced = trc.wants("rma.poll")
+    span = (trc.begin("rma.poll", "wait-notification", track=ctx.track)
+            if traced else NULL_SPAN)
     polls = 0
     while True:
         word0 = yield from ctx.read_u64(cursor.slot_addr)
@@ -73,7 +76,7 @@ def rma_wait_notification(ctx: HostThread, cursor: NotificationCursor,
     yield from ctx.write_u32(cursor.queue.read_ptr_addr,
                              cursor.read_index % (1 << 32))
     span.end(polls=polls)
-    if trc.enabled:
+    if traced:
         trc.metrics.histogram("rma.host_notification_polls").observe(polls)
     return record
 

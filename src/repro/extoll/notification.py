@@ -128,8 +128,10 @@ class NotificationQueue:
                     f"rp={self.shadow_read_ptr}"
                 )
         addr = self.slot_addr(self.write_ptr)
-        if self.sim is not None and self.sim.tracer.enabled:
-            self.sim.tracer.instant("rma", "notif-claim", track=self.name,
+        # Per-notification event: the polling/notification layer, filtered
+        # out of the telemetry flight recorder by default.
+        if self.sim is not None and self.sim.tracer.wants("rma.poll"):
+            self.sim.tracer.instant("rma.poll", "notif-claim", track=self.name,
                                     slot=self.write_ptr % self.entries)
         self.write_ptr += 1
         return addr

@@ -136,6 +136,12 @@ class LinkFaultState:
                 trc.metrics.timeline(
                     f"fault.{self.link.name}.up").record(self.sim.now, 1)
 
+    def snapshot(self) -> Dict[str, int]:
+        """Uniform stats protocol (counters plus the ``up`` gauge)."""
+        return {"drops": self.drops, "corruptions": self.corruptions,
+                "delays": self.delays, "down_drops": self.down_drops,
+                "transitions": self.transitions, "up": int(self.up)}
+
 
 class FaultInjector:
     """Attaches a :class:`FaultPlan` to a cluster's network fabric."""
@@ -225,3 +231,27 @@ class FaultInjector:
                        "delays": s.delays, "down_drops": s.down_drops,
                        "transitions": s.transitions}
                 for name, s in sorted(self.states.items())}
+
+    # -- uniform stats protocol -------------------------------------------------
+    GAUGES = ("links_down",)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Aggregate totals in the uniform ``snapshot()/diff()`` shape the
+        telemetry sampler polls: flat ``{name: int}``, counters monotonic,
+        gauges (``links_down``) reporting the current level."""
+        return {"drops": self.drops, "corruptions": self.corruptions,
+                "delays": self.delays, "down_drops": self.down_drops,
+                "transitions": self.transitions,
+                "links_down": sum(0 if s.up else 1
+                                  for s in self.states.values())}
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Change since an ``earlier`` :meth:`snapshot` (gauges pass through
+        as levels, counters as deltas)."""
+        out: Dict[str, int] = {}
+        for name, value in self.snapshot().items():
+            if name in self.GAUGES:
+                out[name] = value
+            else:
+                out[name] = value - earlier.get(name, 0)
+        return out

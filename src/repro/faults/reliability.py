@@ -113,6 +113,27 @@ class ChannelReliability:
         if self._kick is not None and not self._kick.triggered:
             self._kick.succeed()
 
+    # -- uniform stats protocol -----------------------------------------------
+    GAUGES = ("outstanding",)
+
+    def snapshot(self) -> dict:
+        """Uniform ``snapshot()/diff()`` shape for the telemetry sampler:
+        monotonic retransmission counters plus the ``outstanding`` gauge
+        (unacked slots right now) and a sticky ``exhausted`` flag."""
+        return {"retransmits": self.retransmits, "timeouts": self.timeouts,
+                "ack_replays": self.ack_replays,
+                "exhausted": int(self.error is not None),
+                "outstanding": self.outstanding}
+
+    def diff(self, earlier: dict) -> dict:
+        out = {}
+        for name, value in self.snapshot().items():
+            if name in self.GAUGES:
+                out[name] = value
+            else:
+                out[name] = value - earlier.get(name, 0)
+        return out
+
     # -- sender engine ------------------------------------------------------------
     def _tx_loop(self):
         cfg = self.config
@@ -143,6 +164,15 @@ class ChannelReliability:
                         f"{now_acked + 1}..{self.highest_sent} unacked after "
                         f"{cfg.max_retries} retries")
                     self.src_node.nic.rma.async_errors.append(self.error)
+                    trc = self.sim.tracer
+                    if trc.enabled:
+                        # The flight recorder auto-dumps on this instant.
+                        trc.instant(
+                            "fault", "retry-exhausted",
+                            track=f"rel.{self.end.src_node_id}->"
+                                  f"{self.end.dst_node_id}",
+                            detail=str(self.error))
+                        trc.metrics.counter("faults.retry_exhausted").inc()
                     return
                 yield from self._replay(now_acked)
                 rto = min(rto * cfg.backoff, cfg.max_timeout)

@@ -143,9 +143,10 @@ class ThreadCtx:
         # pollers from many blocks serialize here.
         gpu.counters.sysmem_read_transactions += _sectors(size)
         trc = self.sim.tracer
+        traced = trc.wants("gpu.sysmem")
         span = (trc.begin("gpu.sysmem", "read", track=self.track,
                           addr=hex(phys), bytes=size)
-                if trc.enabled else NULL_SPAN)
+                if traced else NULL_SPAN)
         yield self.sim.timeout(gpu.config.sysmem_issue_overhead)
         yield gpu.sysmem_read_slots.acquire()
         try:
@@ -153,7 +154,7 @@ class ThreadCtx:
         finally:
             gpu.sysmem_read_slots.release()
             span.end()
-        if trc.enabled:
+        if traced:
             trc.metrics.counter("gpu.sysmem_reads").inc()
         return data
 
@@ -190,7 +191,7 @@ class ThreadCtx:
             return
         gpu.counters.sysmem_write_transactions += _sectors(len(data))
         trc = self.sim.tracer
-        if trc.enabled:
+        if trc.wants("gpu.sysmem"):
             trc.instant("gpu.sysmem", "posted-store", track=self.track,
                         addr=hex(phys), bytes=len(data))
             trc.metrics.counter("gpu.sysmem_writes").inc()
@@ -276,9 +277,10 @@ class ThreadCtx:
         being dominated by poll events.
         """
         trc = self.sim.tracer
+        traced = trc.wants("gpu.spin")
         span = (trc.begin("gpu.spin", "spin", track=self.track,
                           addr=hex(vaddr))
-                if trc.enabled else NULL_SPAN)
+                if traced else NULL_SPAN)
         polls = 0
         while True:
             value = yield from self.load_u64(vaddr)
@@ -286,7 +288,7 @@ class ThreadCtx:
             yield from self.alu(loop_instructions)
             if predicate(value):
                 span.end(polls=polls)
-                if trc.enabled:
+                if traced:
                     trc.metrics.histogram("gpu.spin_polls").observe(polls)
                 return value, polls
             if max_polls is not None and polls >= max_polls:

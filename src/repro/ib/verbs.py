@@ -140,14 +140,17 @@ def ibv_wait_cq(ctx: HostThread, consumer: CqConsumer,
                 max_polls: int | None = 2_000_000):
     """Spin ``ibv_poll_cq`` until a completion arrives."""
     trc = ctx.sim.tracer
-    span = (trc.begin("ib.api", "ibv_wait_cq", track=ctx.track)
-            if trc.enabled else NULL_SPAN)
+    # Polling layer ("ib.poll"): per-message span volume, filtered out of
+    # the telemetry flight recorder by default (see gpu_rma_wait_notification).
+    traced = trc.wants("ib.poll")
+    span = (trc.begin("ib.poll", "ibv_wait_cq", track=ctx.track)
+            if traced else NULL_SPAN)
     polls = 0
     while True:
         cqe = yield from ibv_poll_cq(ctx, consumer)
         if cqe is not None:
             span.end(polls=polls + 1)
-            if trc.enabled:
+            if traced:
                 trc.metrics.histogram("ib.cq_polls").observe(polls + 1)
             return cqe
         polls += 1

@@ -14,6 +14,7 @@
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from typing import IO, Dict, List, Optional, Union
 
@@ -82,6 +83,11 @@ def write_chrome_trace(tracer: SpanTracer, out: Union[str, IO[str]],
         },
     }
     if isinstance(out, str):
+        # --trace/--out may point into a directory that doesn't exist yet
+        # (e.g. artifacts/run1/trace.json on a fresh checkout).
+        parent = os.path.dirname(out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=1)
     else:

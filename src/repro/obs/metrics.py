@@ -72,22 +72,32 @@ class Histogram:
         """Estimate the ``q``-th percentile (0..100) from the power-of-two
         buckets.
 
+        THE percentile implementation — every consumer (metric summaries,
+        the bench harness, the telemetry SLO monitors) goes through this
+        method, including over *windowed* sample sets via :meth:`delta`.
+
         The rank is located by walking the cumulative bucket counts; within
         the bucket it lands in, the value is interpolated linearly across the
         bucket's ``(2**(e-1), 2**e]`` range and clamped to the observed
         ``[min, max]``.  The estimate is therefore never off by more than one
-        octave.  Returns ``None`` for an empty histogram.
+        octave.  Edge cases are exact: an empty histogram returns ``None``,
+        a single sample returns that sample for every ``q``, ``q=0`` returns
+        the minimum and ``q=100`` the maximum.
         """
         if not self.count:
             return None
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile wants q in [0, 100], got {q!r}")
-        if q == 0.0:
+        if q == 0.0 or self.count == 1:
             return self.min
+        if q == 100.0:
+            return self.max
         target = q / 100.0 * self.count
         cumulative = 0
         for e in sorted(self.buckets):
             n = self.buckets[e]
+            if not n:
+                continue  # delta histograms may carry zero-count buckets
             cumulative += n
             if cumulative >= target:
                 lo, hi = 2.0 ** (e - 1), 2.0 ** e
@@ -95,6 +105,50 @@ class Histogram:
                 est = lo + (hi - lo) * frac
                 return min(max(est, self.min), self.max)
         return self.max  # pragma: no cover - cumulative == count above
+
+    # -- windowed views ----------------------------------------------------------
+    def state(self) -> dict:
+        """A cheap structural snapshot (count/sum/min/max plus a copy of the
+        buckets).  Two states bound a *window*: feed them to :meth:`delta`
+        to get a histogram of only the samples observed in between — how the
+        telemetry sampler turns one live histogram into per-window tail
+        latencies without retaining samples."""
+        return {"count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "buckets": dict(self.buckets)}
+
+    @classmethod
+    def delta(cls, name: str, current: dict, earlier: Optional[dict] = None,
+              ) -> "Histogram":
+        """The histogram of samples observed between two :meth:`state`
+        snapshots (``earlier`` omitted: since creation).
+
+        min/max of the in-between samples are not tracked exactly (the live
+        histogram only keeps all-time extremes), so they are estimated from
+        the occupied delta buckets' bounds, clamped to the live extremes —
+        consistent with the one-octave accuracy of :meth:`percentile`.
+        """
+        earlier = earlier or {"count": 0, "sum": 0.0, "buckets": {}}
+        out = cls(name)
+        prev_buckets = earlier.get("buckets") or {}
+        for e, n in current.get("buckets", {}).items():
+            d = n - prev_buckets.get(e, 0)
+            if d > 0:
+                out.buckets[e] = d
+        out.count = current["count"] - earlier.get("count", 0)
+        out.total = current["sum"] - earlier.get("sum", 0.0)
+        if out.count < 0 or any(n < 0 for n in out.buckets.values()):
+            raise ValueError(
+                f"histogram {name!r}: 'earlier' state is not a prefix of "
+                f"'current' (was the histogram cleared in between?)")
+        if out.buckets:
+            exps = sorted(out.buckets)
+            lo = 2.0 ** (exps[0] - 1)
+            hi = 2.0 ** exps[-1]
+            out.min = max(lo, current.get("min", lo))
+            out.max = min(hi, current.get("max", hi))
+            if out.min > out.max:  # single-octave window: bounds collapse
+                out.min = out.max
+        return out
 
     def summary(self) -> dict:
         """JSON-safe summary: an empty histogram reports ``None`` for
@@ -186,6 +240,16 @@ class MetricsRegistry:
         if t is None:
             t = self._timelines[name] = Timeline(name)
         return t
+
+    def counter_values(self) -> Dict[str, int]:
+        """Flat ``{name: value}`` view of the counters only — the shape the
+        telemetry sampler polls per tick (histogram/timeline summaries are
+        too heavy to rebuild at sampling cadence)."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """The live histogram objects by name (read-only use expected)."""
+        return dict(self._histograms)
 
     def snapshot(self) -> dict:
         """A plain-dict view (counters as ints, histograms as summaries with

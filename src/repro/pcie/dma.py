@@ -62,9 +62,10 @@ class DmaEngine:
         yield self.busy.acquire()
         ctx_id = self._free_ctx.pop()
         trc = self.sim.tracer
+        traced = trc.wants("dma")
         span = (trc.begin("dma", "dma-read", track=self._track(ctx_id),
                           addr=hex(addr), bytes=length)
-                if trc.enabled else NULL_SPAN)
+                if traced else NULL_SPAN)
         try:
             if self.config.setup_time:
                 yield self.sim.timeout(self.config.setup_time)
@@ -83,7 +84,7 @@ class DmaEngine:
             self.busy.release()
         self.bytes_moved += length
         self.transfers += 1
-        if trc.enabled:
+        if traced:
             trc.metrics.counter("dma.bytes_read").inc(length)
         return b"".join(parts)
 
@@ -94,9 +95,10 @@ class DmaEngine:
         yield self.busy.acquire()
         ctx_id = self._free_ctx.pop()
         trc = self.sim.tracer
+        traced = trc.wants("dma")
         span = (trc.begin("dma", "dma-write", track=self._track(ctx_id),
                           addr=hex(addr), bytes=len(data))
-                if trc.enabled else NULL_SPAN)
+                if traced else NULL_SPAN)
         try:
             if self.config.setup_time:
                 yield self.sim.timeout(self.config.setup_time)
@@ -112,5 +114,5 @@ class DmaEngine:
             self.busy.release()
         self.bytes_moved += len(data)
         self.transfers += 1
-        if trc.enabled:
+        if traced:
             trc.metrics.counter("dma.bytes_written").inc(len(data))

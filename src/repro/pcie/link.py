@@ -66,13 +66,17 @@ class PcieLink:
         out the propagation latency.  Returns at *delivery* time."""
         up = direction is self._up
         trc = self.sim.tracer
+        # Per-TLP instrumentation is the hottest site in the stack; gate on
+        # wants() so a category-filtered tracer (the telemetry flight
+        # recorder) skips the str(tlp)/attrs construction entirely.
+        traced = trc.wants("pcie")
         yield direction.acquire()
         # The span covers the serialization window only (the direction is
         # exclusively held), so spans on one link track never overlap.
         span = (trc.begin("pcie", str(tlp),
                           track=f"{self.name}.{'up' if up else 'down'}",
                           **tlp.trace_attrs())
-                if trc.enabled else NULL_SPAN)
+                if traced else NULL_SPAN)
         try:
             yield self.sim.timeout(tlp.wire_bytes / bandwidth)
         finally:
@@ -89,7 +93,7 @@ class PcieLink:
             self.bytes_down += tlp.length
             self.ctrl_writes_down += ctrl
         yield self.sim.timeout(self.config.latency)
-        if trc.enabled:
+        if traced:
             m = trc.metrics
             m.counter(f"pcie.tlps_{'up' if up else 'down'}").inc()
             m.counter("pcie.wire_bytes").inc(tlp.wire_bytes)

@@ -82,6 +82,19 @@ class Simulator:
 
         return Process(self, generator, name)
 
+    def call_later(self, delay: float, fn: Callable[[], None],
+                   name: str = "") -> Timeout:
+        """Run ``fn()`` after ``delay`` seconds of simulated time.
+
+        One heap entry, no coroutine machinery — the cheapest way to hook
+        periodic observers (e.g. the telemetry sampler) onto the event
+        loop; ``fn`` may re-arm itself by calling :meth:`call_later` again.
+        Returns the scheduled :class:`Timeout` so callers can inspect it.
+        """
+        ev = Timeout(self, delay, name=name or "call_later")
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
     # -- scheduling -------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         when = self._now + delay

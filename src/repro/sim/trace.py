@@ -138,6 +138,14 @@ class Tracer:
         return self.sim.now if self.sim is not None else 0.0
 
     # -- filtering -------------------------------------------------------------
+    def wants(self, category: str) -> bool:
+        """True when instrumentation in ``category`` should bother building
+        its records.  The microscopically hot sites (per-TLP, per-poll) use
+        ``trc.wants("pcie")`` instead of ``trc.enabled`` so a
+        category-filtered tracer (e.g. the telemetry flight recorder) skips
+        not just the span, but the *argument construction* for it."""
+        return self.categories is None or category in self.categories
+
     def _passes_category(self, category: str) -> bool:
         return self.categories is None or category in self.categories
 
@@ -189,6 +197,9 @@ class NullTracer:
 
     def now(self) -> float:
         return 0.0
+
+    def wants(self, category: str) -> bool:
+        return False
 
     def emit(self, category: str, message: str) -> None:
         pass

@@ -1,0 +1,375 @@
+"""``python -m repro monitor`` — run a scenario under live telemetry.
+
+Any of the repo's scenarios (``pingpong``/``rate``/``engine``/
+``collectives``/``faults``) runs with a :class:`TelemetryPlane` armed:
+the sampler ticks on the event loop, SLO monitors judge every window, and
+the flight recorder stands by to dump on faults or breaches.  At the end
+the CLI prints the series summary and the SLO verdict table; ``--out``
+additionally writes the JSON time series, the Prometheus text snapshot,
+and every flight-recorder dump.
+
+Proof obligations, runnable from CI:
+
+* ``--verify`` runs the scenario twice — bare and instrumented — and
+  asserts the measured results are IDENTICAL (the sampler observes, it
+  never perturbs).
+* ``--force-breach`` arms an unsatisfiable objective so the first sample
+  window breaches, trips the recorder, and produces a dump artifact.
+* the ``faults`` scenario replays itself under a full
+  :class:`~repro.obs.SpanTracer` and reconciles the flight-recorder dump's
+  spans against the full trace (every retained span must appear there,
+  within a 1% mismatch allowance).
+
+Exit status: 0 on success, 1 on SLO breach (so pipelines can gate),
+2 on a verification failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import List, Optional, Tuple
+
+from ..errors import ReproError
+from ..sim import Simulator
+from .export import (render_series_table, write_flight_record,
+                     write_prometheus, write_timeseries)
+from .plane import TelemetryPlane
+from .slo import Objective
+
+_BUF_BYTES = 64 * 1024
+
+#: Conservative default objectives per scenario — thresholds sit well
+#: outside the model's nominal envelope so a healthy run passes, and the
+#: budget absorbs warm-up windows.
+_PRESETS = {
+    "pingpong": [
+        Objective("put tail latency", "span.rma.wr-put", "p99", "<",
+                  10e-6, unit="s", budget=0.2),
+    ],
+    "rate": [
+        Objective("sustained put rate", "rma.puts", "rate", ">=",
+                  1e5, unit="put/s", budget=0.25),
+    ],
+    "engine": [
+        Objective("engine message rate", "engine.messages", "rate", ">=",
+                  5e5, unit="msg/s", budget=0.25),
+        Objective("doorbell amplification", "engine.doorbells", "rate", "<",
+                  1e8, unit="mmio/s", budget=0.25),
+        Objective("put tail latency", "span.rma.wr-put", "p99", "<",
+                  10e-6, unit="s", budget=0.2),
+    ],
+    "collectives": [
+        Objective("collective step tail", "span.phase.all-reduce", "p99",
+                  "<", 1e-3, unit="s", budget=0.2),
+    ],
+    "faults": [
+        Objective("no retransmissions", "rel.retransmits", "total", "<=",
+                  0.0, unit="retx", budget=0.0),
+        Objective("no link drops", "faults.drops", "total", "<=",
+                  0.0, unit="drops", budget=0.0),
+    ],
+}
+
+_FORCE_BREACH = Objective("forced breach (sim always makes progress)",
+                          "sim.events", "total", "<=", 0.0, budget=0.0)
+
+
+def _build_plane(args, sim: Simulator, scenario: str) -> TelemetryPlane:
+    objectives: List[Objective] = []
+    if not args.no_presets:
+        objectives.extend(_PRESETS.get(scenario, ()))
+    for spec in args.slo or ():
+        objectives.append(Objective.parse(spec))
+    if args.force_breach:
+        objectives.append(_FORCE_BREACH)
+    return TelemetryPlane(sim, interval=args.interval,
+                          capacity=args.capacity, objectives=objectives,
+                          recorder_capacity=args.recorder_capacity)
+
+
+# -- scenario runners -----------------------------------------------------------
+# Each returns (headline, details) and leaves the plane (when given) with a
+# finished sampling history.  All model wiring happens AFTER the plane is
+# installed so every span/counter lands in the recorder.
+
+def _run_pingpong(args, sim: Simulator, plane: Optional[TelemetryPlane],
+                  ) -> Tuple[str, dict]:
+    from ..cluster import build_extoll_cluster
+    from ..core.modes import ExtollMode
+    from ..core.pingpong import run_extoll_pingpong
+    from ..core.setup import setup_extoll_connection
+    cluster = build_extoll_cluster(sim=sim)
+    conn = setup_extoll_connection(cluster, max(_BUF_BYTES, args.size))
+    if plane is not None:
+        plane.watch_fabric(cluster.net)
+        plane.start()
+    point = run_extoll_pingpong(cluster, conn, ExtollMode.DIRECT, args.size,
+                                iterations=args.iterations, warmup=args.warmup)
+    return (f"pingpong dev2dev-direct {args.size}B: "
+            f"{point.latency_us:.3f}us half round trip",
+            {"latency": point.latency, "post_time": point.post_time,
+             "poll_time": point.poll_time})
+
+
+def _run_rate(args, sim: Simulator, plane: Optional[TelemetryPlane],
+              ) -> Tuple[str, dict]:
+    from ..cluster import build_extoll_cluster
+    from ..core.message_rate import run_extoll_message_rate
+    from ..core.modes import RateMethod
+    from ..core.setup import setup_extoll_connections
+    cluster = build_extoll_cluster(sim=sim)
+    conns = setup_extoll_connections(cluster, _BUF_BYTES, args.connections)
+    if plane is not None:
+        plane.watch_fabric(cluster.net)
+        plane.start()
+    point = run_extoll_message_rate(cluster, conns,
+                                    RateMethod.HOST_CONTROLLED,
+                                    per_connection=args.per_connection)
+    return (f"rate hostControlled x{args.connections}: "
+            f"{point.messages_per_s / 1e6:.3f} M msg/s",
+            {"messages_per_s": point.messages_per_s,
+             "elapsed": point.elapsed})
+
+
+def _run_engine(args, sim: Simulator, plane: Optional[TelemetryPlane],
+                ) -> Tuple[str, dict]:
+    from ..cluster import build_extoll_cluster
+    from ..core.setup import setup_extoll_connections
+    from ..engine.engine import (EngineConfig, EngineStats,
+                                 run_engine_message_rate)
+    cluster = build_extoll_cluster(sim=sim)
+    conns = setup_extoll_connections(cluster, _BUF_BYTES, args.connections)
+    stats = EngineStats()
+    if plane is not None:
+        plane.watch_stats("engine", stats)
+        plane.watch_fabric(cluster.net)
+        plane.start()
+    point, stats = run_engine_message_rate(
+        cluster, conns, EngineConfig.all_on(),
+        per_connection=args.per_connection, stats=stats)
+    return (f"engine all-on x{args.connections}: "
+            f"{point.messages_per_s / 1e6:.3f} M msg/s "
+            f"({stats.wrs} WRs, {stats.doorbells} doorbells)",
+            {"messages_per_s": point.messages_per_s, "wrs": stats.wrs,
+             "doorbells": stats.doorbells})
+
+
+def _run_collectives(args, sim: Simulator, plane: Optional[TelemetryPlane],
+                     ) -> Tuple[str, dict]:
+    from ..collectives.bench import build_communicator, run_collective
+    from ..collectives.comm import CollectiveMode
+    cluster, comm = build_communicator(args.nodes, args.size,
+                                       CollectiveMode.POLL_ON_GPU, sim=sim)
+    if plane is not None:
+        plane.watch_fabric(cluster.net)
+        plane.start()
+    result = run_collective(cluster, comm, "all-reduce", args.size,
+                            iterations=args.iterations, warmup=args.warmup)
+    return (f"all-reduce N={args.nodes} {args.size}B: "
+            f"{result.point.latency * 1e6:.3f}us/op "
+            f"({'OK' if result.correct else 'WRONG RESULT'})",
+            {"latency": result.point.latency, "correct": result.correct})
+
+
+def _run_faults(args, sim: Simulator, plane: Optional[TelemetryPlane],
+                ) -> Tuple[str, dict]:
+    from ..analysis.faults import run_chaos_point
+    from ..collectives.comm import CollectiveMode
+
+    def on_setup(_sim, cluster, comm, injector) -> None:
+        if plane is not None:
+            plane.watch_stats("faults", injector)
+            plane.watch_stats("rel", comm)
+            plane.watch_fabric(cluster.net)
+            plane.start()
+
+    point, _comm, _injector = run_chaos_point(
+        CollectiveMode.POLL_ON_GPU, args.size, args.loss,
+        corrupt=args.loss / 2, nodes=args.nodes,
+        iterations=args.iterations, warmup=args.warmup,
+        sim=sim, on_setup=on_setup)
+    return (f"all-reduce under loss={args.loss:g}: "
+            f"{point.latency_us:.3f}us/op, {point.retransmits} retx, "
+            f"{point.drops} drops "
+            f"({'OK' if point.correct else 'WRONG RESULT'})",
+            {"latency": point.latency, "retransmits": point.retransmits,
+             "drops": point.drops, "correct": point.correct})
+
+
+_SCENARIOS = {
+    "pingpong": _run_pingpong,
+    "rate": _run_rate,
+    "engine": _run_engine,
+    "collectives": _run_collectives,
+    "faults": _run_faults,
+}
+
+
+# -- proof obligations -------------------------------------------------------------
+
+def _verify_non_perturbation(args, scenario: str) -> Tuple[bool, str]:
+    """Run bare and instrumented with the same seed; the measured results
+    must be IDENTICAL (telemetry reads, never writes)."""
+    runner = _SCENARIOS[scenario]
+    _, bare = runner(args, Simulator(seed=args.seed), None)
+    sim = Simulator(seed=args.seed)
+    plane = _build_plane(args, sim, scenario)
+    _, instrumented = runner(args, sim, plane)
+    plane.stop()
+    for key, value in bare.items():
+        if instrumented.get(key) != value:
+            return False, (f"telemetry perturbed the run: {key} "
+                           f"{value!r} -> {instrumented.get(key)!r}")
+    return True, (f"bare and instrumented runs identical across "
+                  f"{len(bare)} measured quantities "
+                  f"({plane.sampler.ticks} samples taken)")
+
+
+def _reconcile_dump(dump: dict, tracer) -> dict:
+    """Every span the flight recorder retained must appear, bit-identical,
+    in a full trace of the same seed."""
+    full = {(s.category, s.name, s.track, s.begin, s.end)
+            for s in tracer.spans}
+    retained = [(s["category"], s["name"], s["track"], s["begin"], s["end"])
+                for s in dump["spans"]]
+    missing = [key for key in retained if key not in full]
+    total = max(len(retained), 1)
+    rel_err = len(missing) / total
+    return {"retained": len(retained), "missing": len(missing),
+            "rel_err": rel_err, "ok": rel_err <= 0.01}
+
+
+def _reconcile_faults_dump(args, dump: dict) -> dict:
+    from ..analysis.faults import run_chaos_point
+    from ..collectives.comm import CollectiveMode
+    from ..obs.tracer import SpanTracer
+    tracer = SpanTracer()
+    run_chaos_point(CollectiveMode.POLL_ON_GPU, args.size, args.loss,
+                    corrupt=args.loss / 2, nodes=args.nodes,
+                    iterations=args.iterations, warmup=args.warmup,
+                    seed=args.seed, tracer=tracer)
+    return _reconcile_dump(dump, tracer)
+
+
+# -- entry point --------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro monitor",
+        description="Run a scenario under the live telemetry plane.")
+    parser.add_argument("scenario", nargs="?", default="engine",
+                        choices=sorted(_SCENARIOS),
+                        help="which scenario to monitor (default: engine)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small run for CI")
+    parser.add_argument("--interval", type=float, default=5e-6,
+                        help="sampling cadence in simulated seconds "
+                             "(default: 5e-6)")
+    parser.add_argument("--capacity", type=int, default=4096,
+                        help="ring size of every time series")
+    parser.add_argument("--recorder-capacity", type=int, default=512,
+                        help="flight-recorder ring size (spans/instants)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--size", type=int, default=64,
+                        help="message size in bytes")
+    parser.add_argument("--connections", type=int, default=None,
+                        help="rate/engine lanes (default: 8, quick: 4)")
+    parser.add_argument("--per-connection", type=int, default=None,
+                        help="messages per lane (default: 60, quick: 30)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="pingpong/collective iterations")
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="collectives/faults cluster size")
+    parser.add_argument("--loss", type=float, default=0.05,
+                        help="faults scenario per-packet drop probability")
+    parser.add_argument("--slo", action="append", metavar="SPEC",
+                        help="extra objective, e.g. "
+                             "'p99:span.rma.wr-put<10e-6' or "
+                             "'rate:engine.messages>=6e6' (repeatable)")
+    parser.add_argument("--no-presets", action="store_true",
+                        help="drop the scenario's built-in objectives")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="run the scenario bare (the zero-cost "
+                             "reference: prints the same headline)")
+    parser.add_argument("--verify", action="store_true",
+                        help="assert bare and instrumented runs measure "
+                             "identically (non-perturbation)")
+    parser.add_argument("--force-breach", action="store_true",
+                        help="arm an unsatisfiable objective (dump "
+                             "artifact smoke test)")
+    parser.add_argument("--reconcile", action="store_true",
+                        help="faults only: reconcile the dump against a "
+                             "full trace of the same seed")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write timeseries.json, metrics.prom and "
+                             "flight dumps under DIR")
+    args = parser.parse_args(argv)
+    args.connections = args.connections or (4 if args.quick else 8)
+    args.per_connection = args.per_connection or (30 if args.quick else 60)
+    args.iterations = args.iterations or (4 if args.quick else 10)
+    if args.quick:
+        args.nodes = min(args.nodes, 4)
+
+    runner = _SCENARIOS[args.scenario]
+
+    if args.verify:
+        ok, detail = _verify_non_perturbation(args, args.scenario)
+        print(f"[{'PASS' if ok else 'FAIL'}] non-perturbation: {detail}")
+        if not ok:
+            return 2
+
+    sim = Simulator(seed=args.seed)
+    plane = None if args.no_telemetry else _build_plane(args, sim,
+                                                        args.scenario)
+    try:
+        headline, _details = runner(args, sim, plane)
+    except ReproError as exc:
+        print(f"scenario failed: {exc}")
+        return 2
+    if plane is not None:
+        plane.stop()
+
+    print(headline)
+    print(f"simulated {sim.now * 1e6:.1f}us, "
+          f"{sim.events_processed} events processed")
+    if plane is None:
+        return 0
+
+    print()
+    print(render_series_table(plane.sampler))
+    print()
+    print(plane.render())
+
+    if args.reconcile and args.scenario == "faults" and plane.dumps:
+        recon = _reconcile_faults_dump(args, plane.dumps[0])
+        print()
+        print(f"[{'PASS' if recon['ok'] else 'FAIL'}] dump reconciliation: "
+              f"{recon['retained']} retained spans, "
+              f"{recon['missing']} missing from the full trace "
+              f"(rel err {recon['rel_err'] * 100:.2f}%, allowed 1%)")
+        if not recon["ok"]:
+            return 2
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        write_timeseries(os.path.join(args.out, "timeseries.json"),
+                         plane.sampler)
+        write_prometheus(os.path.join(args.out, "metrics.prom"),
+                         plane.sampler, plane.recorder.metrics)
+        for i, dump in enumerate(plane.dumps):
+            write_flight_record(
+                os.path.join(args.out, f"flight-record-{i}.json"), dump)
+        with open(os.path.join(args.out, "slo-report.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump(plane.report(), fh, indent=1)
+        print(f"\nartifacts written to {args.out}/ "
+              f"({len(plane.dumps)} flight dump(s))")
+
+    return 1 if plane.breached else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""Telemetry exporters: JSON time-series, Prometheus text, flight dumps.
+
+Three output shapes, one per consumer:
+
+* :func:`timeseries_doc` / :func:`write_timeseries` — the full sampled
+  history as JSON (plotting, campaign aggregation),
+* :func:`prometheus_text` — the de-facto scrape format, so any Prometheus/
+  Grafana tooling ingests a run's final state without adapters; the
+  power-of-two histogram buckets map directly onto cumulative ``le``
+  buckets,
+* :func:`write_flight_record` — a flight-recorder dump to disk, creating
+  parent directories (the same fix the trace CLI got — artifact paths
+  rarely exist on fresh checkouts/CI workspaces).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Optional
+
+from .sampler import Sampler
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name for the Prometheus exposition format."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"repro_{sanitized}"
+
+
+def _write_json(path: str, doc: dict) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+# -- JSON time series -------------------------------------------------------------
+
+def timeseries_doc(sampler: Sampler) -> dict:
+    """Every series' points (plus tick metadata), JSON-safe."""
+    return {
+        "interval": sampler.interval,
+        "ticks": sampler.ticks,
+        "tick_times": list(sampler.tick_times),
+        "series": {
+            s.name: {"kind": s.kind,
+                     "points": [[p.time, p.value] for p in s]}
+            for s in sampler.bank
+        },
+    }
+
+
+def write_timeseries(path: str, sampler: Sampler) -> dict:
+    doc = timeseries_doc(sampler)
+    _write_json(path, doc)
+    return doc
+
+
+# -- Prometheus text format ---------------------------------------------------------
+
+def prometheus_text(sampler: Sampler, registry=None) -> str:
+    """The run's final state in the Prometheus exposition format.
+
+    Counter series expose their lifetime totals, gauges their last level.
+    With a :class:`~repro.obs.metrics.MetricsRegistry`, its histograms are
+    rendered as cumulative ``le`` buckets (each power-of-two bucket's upper
+    bound ``2**e`` becomes a ``le`` label) plus ``_sum``/``_count``.
+    """
+    lines = []
+    for series in sampler.bank:
+        name = _prom_name(series.name)
+        if series.kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {series.total():g}")
+        else:
+            last = series.last
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {last.value if last else 0:g}")
+    if registry is not None:
+        for hname, hist in sorted(registry.histograms().items()):
+            name = _prom_name(hname)
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for e in sorted(hist.buckets):
+                cumulative += hist.buckets[e]
+                lines.append(f'{name}_bucket{{le="{2.0 ** e:g}"}} '
+                             f"{cumulative}")
+            lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{name}_sum {hist.total:g}")
+            lines.append(f"{name}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, sampler: Sampler, registry=None) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(sampler, registry))
+
+
+# -- flight-recorder dumps -----------------------------------------------------------
+
+def write_flight_record(path: str, dump: dict) -> None:
+    """Persist one flight-recorder dump, creating parent directories."""
+    _write_json(path, dump)
+
+
+# -- per-window summary table ---------------------------------------------------------
+
+def render_series_table(sampler: Sampler, names: Optional[list] = None,
+                        ) -> str:
+    """Fixed-width per-series summary: totals for counters (plus the mean
+    rate over the sampled range), last level for gauges."""
+    rows = []
+    span = None
+    if len(sampler.tick_times) >= 2:
+        span = sampler.tick_times[-1] - sampler.tick_times[0]
+    for series in sampler.bank:
+        if names is not None and series.name not in names:
+            continue
+        if series.kind == "counter":
+            total = series.total()
+            rate = ""
+            if span and len(series) >= 2:
+                # Rate over the retained windows (skip the first point:
+                # its delta covers time before the retained range).
+                pts = series.points()[1:]
+                rate = f"{sum(p.value for p in pts) / span:,.0f}/s"
+            rows.append((series.name, f"{total:,.0f}", rate))
+        else:
+            last = series.last
+            rows.append((series.name, "-" if last is None
+                         else f"{last.value:g}", "gauge"))
+    if not rows:
+        return "(no series sampled)"
+    width = max(len(name) for name, _, _ in rows) + 2
+    lines = ["series".ljust(width) + "total/last".rjust(16) + "rate".rjust(16)]
+    lines.append("-" * (width + 32))
+    for name, value, rate in rows:
+        lines.append(name.ljust(width) + value.rjust(16) + rate.rjust(16))
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""The flight recorder: always-on, bounded post-mortem context.
+
+A :class:`FlightRecorder` IS a :class:`~repro.obs.SpanTracer` — install it
+as ``sim.tracer`` and every instrumented model reports to it — but it
+retains only the most recent ``capacity`` spans/instants in rings
+(``deque(maxlen=...)``), so memory stays bounded no matter how long the
+run is.  Aggregates are NOT bounded: the metrics registry keeps exact
+counters and histograms for the whole run (that is what the sampler and
+the SLO monitors poll), and completed span durations are folded into
+``span.{category}.{name}`` histograms as they end — live tail-latency
+distributions without retaining the spans themselves.
+
+When something goes wrong the recorder **trips**: a trigger instant
+(``retry-exhausted`` by default — any fault-category name can be armed),
+or an explicit :meth:`trip` call from an SLO monitor or an exception
+handler.  Tripping snapshots the rings into a *dump* (a JSON-safe dict of
+the last-N spans/instants plus counters) and hands it to the ``on_trip``
+callbacks — the black box readout for the moments leading up to the
+failure, at ring-buffer cost instead of full-trace cost.
+
+Because the retained spans are literally the tail of what a full
+:class:`SpanTracer` would have recorded for the same seed, a dump
+reconciles exactly against a full trace of the same run — the
+``monitor --scenario faults`` CLI checks this within 1%.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict
+from typing import Callable, Iterable, List, Optional, TYPE_CHECKING
+
+from ..obs.tracer import InstantRecord, SpanRecord, SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Simulator
+
+#: Instant names that trip the recorder out of the box.
+DEFAULT_TRIGGERS = ("retry-exhausted",)
+
+#: What the black box records by default: the API, phase, fault, wire and
+#: kernel layers — every category EXCEPT the microscopic ones whose span
+#: volume would both churn the rings uselessly and slow the run: per-TLP
+#: ``pcie``, per-access ``gpu.sysmem``, per-descriptor ``dma``, and the
+#: per-message polling layer (``gpu.spin``, ``rma.poll``, ``ib.poll``).
+#: Their hot sites gate on :meth:`~repro.sim.trace.Tracer.wants`, so
+#: filtering skips even the argument construction.  Pass
+#: ``categories=None`` for a full-fidelity recorder.
+DEFAULT_CATEGORIES = ("bench", "collective", "fault", "gpu.block",
+                      "gpu.kernel", "ib", "ib.api", "net", "phase", "rel",
+                      "rma", "rma.api")
+
+
+class FlightRecorder(SpanTracer):
+    """A SpanTracer whose record lists are rings, plus trip-on-fault."""
+
+    def __init__(self, sim: Optional["Simulator"] = None,
+                 capacity: int = 512,
+                 triggers: Iterable[str] = DEFAULT_TRIGGERS,
+                 categories: Optional[Iterable[str]] = DEFAULT_CATEGORIES,
+                 ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        super().__init__(sim, categories=categories, sink=self._observe)
+        self.capacity = capacity
+        # Rebind the storage to rings: appends beyond capacity evict the
+        # oldest record instead of growing (SpanTracer only ever appends
+        # and iterates, so the swap is safe).
+        self.spans = deque(maxlen=capacity)
+        self.instants = deque(maxlen=capacity)
+        self.records = deque(maxlen=capacity)
+        self.triggers = set(triggers)
+        self.trips: List[dict] = []
+        #: Called as ``cb(reason, dump)`` on every trip.
+        self.on_trip: List[Callable[[str, dict], None]] = []
+
+    # -- sink: aggregate + trigger ---------------------------------------------------
+    def _observe(self, record) -> None:
+        if isinstance(record, SpanRecord):
+            self.metrics.histogram(
+                f"span.{record.category}.{record.name}").observe(
+                    record.duration)
+        elif isinstance(record, InstantRecord):
+            if record.name in self.triggers:
+                self.trip(f"{record.category}/{record.name}",
+                          detail=dict(record.attrs))
+
+    # -- tripping ----------------------------------------------------------------
+    def trip(self, reason: str, detail: Optional[dict] = None) -> dict:
+        """Snapshot the rings and notify ``on_trip``; returns the dump."""
+        dump = self.dump(reason, detail)
+        self.trips.append({"time": dump["time"], "reason": reason})
+        for cb in self.on_trip:
+            cb(reason, dump)
+        return dump
+
+    def dump(self, reason: str = "manual",
+             detail: Optional[dict] = None) -> dict:
+        """JSON-safe snapshot of everything the recorder holds right now."""
+        return {
+            "reason": reason,
+            "detail": detail or {},
+            "time": self.now(),
+            "capacity": self.capacity,
+            "spans": [asdict(s) for s in self.spans],
+            "instants": [asdict(i) for i in self.instants],
+            "open_spans": [{"category": s.category, "name": s.name,
+                            "track": s.track, "begin": s.begin}
+                           for s in self.open_spans()],
+            "counters": self.metrics.counter_values(),
+        }
+
+    @property
+    def tripped(self) -> bool:
+        return bool(self.trips)

@@ -1,0 +1,215 @@
+"""Service-level objectives over the sampler's windows.
+
+An :class:`Objective` declares what good service looks like —
+``p99 of span.rma.wr-put < 10us``, ``rate of engine.messages >= 6e6/s`` —
+and an :class:`SloMonitor` evaluates it against every sample window as the
+simulation runs (the sampler calls :meth:`SloMonitor.observe` from its
+tick hook).
+
+Verdicts use the classic **multi-window burn rate**: the breach fraction
+is computed over a short window (the last ``short_windows`` samples — is
+it bad *right now*?) and over the long window (every evaluated sample —
+has the error budget burned overall?).  Both above budget → ``breach``;
+exactly one → ``warn``; neither → ``pass``.  A fast transient trips the
+short window only (warn), a slow bleed trips the long one only (warn),
+and sustained bad service trips both (breach) — the standard way to get
+alerts that are both fast and unflappable.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .sampler import Sampler
+
+_OPS: dict = {"<": operator.lt, "<=": operator.le,
+              ">": operator.gt, ">=": operator.ge}
+
+#: Objective kinds: how the window's value is computed.
+#: ``pNN``/``pNN.N`` — percentile of a histogram's window delta;
+#: ``mean`` — mean of a histogram's window delta;
+#: ``rate`` — counter-series deltas per second over the window;
+#: ``total`` — counter-series sum over the window;
+#: ``gauge`` — last gauge level in the window.
+KINDS = ("rate", "total", "gauge", "mean")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative objective, e.g.
+    ``Objective("put tail", "span.rma.wr-put", "p99", "<", 10e-6)``."""
+
+    name: str
+    metric: str          # series name (rate/total/gauge) or histogram name
+    kind: str            # "rate" | "total" | "gauge" | "mean" | "pNN[.N]"
+    op: str              # "<" | "<=" | ">" | ">="
+    threshold: float
+    unit: str = ""       # display only ("s", "msg/s", ...)
+    budget: float = 0.0  # allowed breach fraction per evaluation window
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConfigError(f"objective {self.name!r}: op must be one of "
+                              f"{sorted(_OPS)}, got {self.op!r}")
+        if self.kind not in KINDS and self._percentile_q() is None:
+            raise ConfigError(f"objective {self.name!r}: kind must be one "
+                              f"of {KINDS} or pNN, got {self.kind!r}")
+        if not 0.0 <= self.budget < 1.0:
+            raise ConfigError(f"objective {self.name!r}: budget must be in "
+                              f"[0, 1), got {self.budget!r}")
+
+    def _percentile_q(self) -> Optional[float]:
+        if not self.kind.startswith("p"):
+            return None
+        try:
+            q = float(self.kind[1:])
+        except ValueError:
+            return None
+        # p999 is shorthand for the three-nines percentile.
+        if q > 100.0 and self.kind[1:].isdigit():
+            q = 100.0 * (1.0 - 10.0 ** -(len(self.kind) - 1))
+        return q if 0.0 <= q <= 100.0 else None
+
+    def describe(self) -> str:
+        unit = f" {self.unit}" if self.unit else ""
+        return (f"{self.kind}({self.metric}) {self.op} "
+                f"{self.threshold:g}{unit}")
+
+    @classmethod
+    def parse(cls, spec: str, budget: float = 0.0) -> "Objective":
+        """Parse CLI shorthand ``kind:metric OP threshold``, e.g.
+        ``p99:span.rma.wr-put<10e-6`` or ``rate:engine.messages>=6e6``."""
+        for op in ("<=", ">=", "<", ">"):   # two-char ops first
+            if op in spec:
+                lhs, _, rhs = spec.partition(op)
+                kind, sep, metric = lhs.strip().partition(":")
+                if not sep:
+                    raise ConfigError(
+                        f"bad SLO spec {spec!r}: want kind:metric{op}value")
+                try:
+                    threshold = float(rhs)
+                except ValueError:
+                    raise ConfigError(f"bad SLO threshold in {spec!r}") from None
+                return cls(name=lhs.strip(), metric=metric.strip(),
+                           kind=kind.strip(), op=op, threshold=threshold,
+                           budget=budget)
+        raise ConfigError(f"bad SLO spec {spec!r}: no comparison operator")
+
+
+@dataclass
+class WindowResult:
+    """One objective evaluated over one sample window."""
+
+    w0: float
+    w1: float
+    value: Optional[float]   # None: no data in the window (not counted)
+    ok: Optional[bool]
+
+
+class SloMonitor:
+    """Evaluates one objective per sample window, live."""
+
+    def __init__(self, objective: Objective, short_windows: int = 5) -> None:
+        self.objective = objective
+        self.short_windows = max(1, short_windows)
+        self.windows: List[WindowResult] = []
+        self.evaluated = 0
+        self.breaches = 0
+        self._recent: List[bool] = []      # last short_windows ok-flags
+        self._last_t: Optional[float] = None
+
+    # -- live evaluation ------------------------------------------------------------
+    def observe(self, sampler: Sampler, t: float) -> Optional[bool]:
+        """Evaluate the window ending at ``t``; returns the ok-flag (None
+        when the window held no data)."""
+        w0 = self._last_t if self._last_t is not None else t - sampler.interval
+        self._last_t = t
+        value = self._window_value(sampler, w0, t)
+        ok: Optional[bool] = None
+        if value is not None:
+            ok = _OPS[self.objective.op](value, self.objective.threshold)
+            self.evaluated += 1
+            if not ok:
+                self.breaches += 1
+            self._recent.append(ok)
+            if len(self._recent) > self.short_windows:
+                del self._recent[0]
+        self.windows.append(WindowResult(w0, t, value, ok))
+        return ok
+
+    def _window_value(self, sampler: Sampler, w0: float, w1: float,
+                      ) -> Optional[float]:
+        obj = self.objective
+        q = obj._percentile_q()
+        if q is not None or obj.kind == "mean":
+            hist = sampler.window_histogram(obj.metric, w0, w1)
+            if hist is None or not hist.count:
+                return None
+            return hist.mean if obj.kind == "mean" else hist.percentile(q)
+        series = sampler.series(obj.metric)
+        if series is None:
+            return None
+        if obj.kind == "gauge":
+            pts = series.window(w0, w1)
+            return pts[-1].value if pts else None
+        pts = series.window(w0, w1)
+        if not pts:
+            return None
+        total = float(sum(p.value for p in pts))
+        # Lower-bound throughput objectives (rate >= X) only judge windows
+        # with activity: a finite benchmark's setup and drain windows are
+        # "no demand", not "zero service" (upper bounds still see them).
+        if total == 0.0 and obj.op in (">", ">="):
+            return None
+        if obj.kind == "total":
+            return total
+        return total / (w1 - w0) if w1 > w0 else None   # "rate"
+
+    # -- verdicts --------------------------------------------------------------------
+    def burn_rates(self) -> Tuple[float, float]:
+        """(short, long) breach fractions."""
+        short = (sum(1 for ok in self._recent if not ok) / len(self._recent)
+                 if self._recent else 0.0)
+        long_ = self.breaches / self.evaluated if self.evaluated else 0.0
+        return short, long_
+
+    def verdict(self) -> dict:
+        short, long_ = self.burn_rates()
+        budget = self.objective.budget
+        if self.evaluated == 0:
+            status = "no-data"
+        elif budget == 0.0:
+            # Zero error budget: one breach spends it forever (there is no
+            # window over which the fraction recovers below zero).
+            status = "breach" if self.breaches else "pass"
+        elif short > budget and long_ > budget:
+            status = "breach"
+        elif short > budget or long_ > budget:
+            status = "warn"
+        else:
+            status = "pass"
+        return {"name": self.objective.name,
+                "objective": self.objective.describe(),
+                "status": status, "evaluated": self.evaluated,
+                "breaches": self.breaches, "budget": budget,
+                "burn_short": short, "burn_long": long_,
+                "last_value": next(
+                    (w.value for w in reversed(self.windows)
+                     if w.value is not None), None)}
+
+
+def render_verdicts(verdicts: List[dict]) -> str:
+    """Fixed-width SLO verdict table."""
+    header = ("objective".ljust(44) + "status".ljust(9) + "windows".rjust(8)
+              + "breach".rjust(7) + "burn s/l".rjust(14) + "  last")
+    lines = [header, "-" * len(header)]
+    for v in verdicts:
+        burn = f"{v['burn_short'] * 100:5.1f}/{v['burn_long'] * 100:5.1f}%"
+        last = "-" if v["last_value"] is None else f"{v['last_value']:.4g}"
+        lines.append(f"{v['name'][:43].ljust(44)}{v['status'].ljust(9)}"
+                     f"{v['evaluated']:>8}{v['breaches']:>7}{burn:>14}"
+                     f"  {last}")
+    return "\n".join(lines)

@@ -141,3 +141,13 @@ def test_reconcile_with_point_tolerance():
     # A point whose timings disagree by >1% must fail.
     bad = LatencyPoint(size=64, latency=10e-6, post_time=2.5e-6, poll_time=8e-6)
     assert not reconcile_with_point(trc, bad, iterations=10)["ok"]
+
+
+def test_write_chrome_trace_creates_parent_directories(tmp_path):
+    """--trace deep/new/dir/trace.json must not require pre-made dirs."""
+    tracer = _nested_tracer()
+    out = tmp_path / "deep" / "new" / "dir" / "trace.json"
+    doc = write_chrome_trace(tracer, str(out))
+    assert out.exists()
+    with open(out) as fh:
+        assert json.load(fh)["traceEvents"] == doc["traceEvents"]

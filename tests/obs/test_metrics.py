@@ -153,3 +153,108 @@ def test_diff_supports_shared_registry_across_runs():
         totals.append(reg.diff(before)["net.packets"])
     assert totals == [10, 20, 30]
     assert reg.counter("net.packets").value == 60
+
+
+# -- windowed views (telemetry sampler substrate) -----------------------------------
+
+def test_histogram_state_delta_roundtrip():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("lat")
+    for v in (1.0, 2.0, 4.0):
+        h.observe(v)
+    earlier = h.state()
+    for v in (8.0, 9.0):
+        h.observe(v)
+
+    window = Histogram.delta("lat", h.state(), earlier)
+    assert window.count == 2
+    assert window.total == pytest.approx(17.0)
+    assert window.mean == pytest.approx(8.5)
+    # Both samples sit in the (4, 8] and (8, 16] octaves.
+    assert window.percentile(100.0) == 9.0
+    # Delta with no earlier state reproduces the whole histogram.
+    whole = Histogram.delta("lat", h.state())
+    assert whole.count == h.count
+    assert whole.percentile(50.0) == pytest.approx(h.percentile(50.0))
+
+
+def test_histogram_delta_empty_window_and_percentile_edges():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("lat")
+    h.observe(10.0)
+    s = h.state()
+    empty = Histogram.delta("lat", s, s)      # adjacent sampler ticks,
+    assert empty.count == 0                   # nothing observed between
+    assert empty.percentile(50.0) is None
+
+    h.observe(20.0)
+    single = Histogram.delta("lat", h.state(), s)
+    assert single.count == 1
+    # Single-sample window: every q returns that octave's clamped sample.
+    assert single.percentile(0.0) == single.percentile(99.0) \
+        == single.percentile(100.0)
+
+
+def test_histogram_delta_rejects_non_prefix_state():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("lat")
+    h.observe(10.0)
+    h.observe(10.0)
+    later = h.state()
+    h2 = Histogram("lat")
+    h2.observe(10.0)
+    with pytest.raises(ValueError):
+        Histogram.delta("lat", h2.state(), later)   # count went backwards
+
+
+def test_histogram_delta_skips_stale_zero_count_buckets():
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("lat")
+    h.observe(1.0)       # occupies the low octave...
+    earlier = h.state()
+    h.observe(100.0)     # ...window only holds the high octave
+    h.observe(100.0)
+    window = Histogram.delta("lat", h.state(), earlier)
+    assert window.count == 2
+    # The low octave's delta is zero, so it is absent from the window; the
+    # percentile walk must only see the (64, 128] octave.
+    assert sorted(window.buckets) == [7]
+    assert 64.0 <= window.percentile(99.0) <= 100.0
+
+
+def test_diff_partitions_counts_across_sampler_windows():
+    """The sampler's boundary invariant: consecutive snapshot()/diff()
+    windows attribute every count to exactly one window — including counts
+    landing exactly ON a snapshot boundary (they belong to the window that
+    snapshots after them)."""
+    reg = MetricsRegistry()
+    windows = []
+    expect = [3, 0, 5]
+    before = reg.snapshot()
+    for n in expect:
+        reg.counter("ops").inc(n) if n else None
+        snap = reg.snapshot()
+        windows.append(reg.diff(before)["ops"])
+        before = snap
+    assert windows == expect
+    assert sum(windows) == reg.counter("ops").value
+
+
+def test_diff_histogram_windows_partition_observations():
+    reg = MetricsRegistry()
+    h = reg.histogram("polls")
+    per_window = [(1.0, 2.0), (), (4.0, 8.0, 16.0)]
+    before = reg.snapshot()
+    counts = []
+    for values in per_window:
+        for v in values:
+            h.observe(v)
+        snap = reg.snapshot()
+        counts.append(reg.diff(before)["polls"]["count"])
+        before = snap
+    assert counts == [2, 0, 3]
+    assert sum(counts) == h.count

@@ -69,3 +69,35 @@ def test_span_intervals_filters():
     big = span_intervals(tracer, category="pcie",
                          predicate=lambda s: s.duration > 0)
     assert all(e > b for b, e in big)
+
+
+# -- boundary semantics shared with the telemetry sampler ---------------------------
+
+def test_clip_at_exact_window_edges_drops_degenerate_slivers():
+    """An interval that only TOUCHES a window edge contributes zero time
+    and must vanish, not survive as a (x, x) sliver."""
+    assert clip([(1.0, 2.0)], (2.0, 3.0)) == []
+    assert clip([(2.0, 3.0)], (1.0, 2.0)) == []
+    assert clip([(1.0, 2.0)], (1.0, 2.0)) == [(1.0, 2.0)]
+    assert clip([(1.0, 2.0)], (2.0, 2.0)) == []
+
+
+def test_adjacent_windows_partition_coverage_exactly():
+    """Clipping to consecutive sampler windows never double-counts or
+    loses the time of spans crossing (or ending exactly on) window edges —
+    the off-by-one this suite pins down."""
+    spans = [(0.5, 1.5), (2.0, 3.0), (3.0, 4.0), (4.25, 4.75), (5.0, 7.0)]
+    edges = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+    per_window = [coverage(clip(spans, (w0, w1)))
+                  for w0, w1 in zip(edges, edges[1:])]
+    assert sum(per_window) == pytest.approx(coverage(merge(spans)))
+    assert per_window == pytest.approx([0.5, 0.5, 1.0, 1.0, 0.5, 1.0, 1.0])
+
+
+def test_span_ending_on_a_window_edge_belongs_left_of_it():
+    """Interval algebra uses half-open [begin, end): a span ending at the
+    edge is entirely in the earlier window, mirroring the sampler's
+    (w0, w1] counter convention (one owner per boundary event)."""
+    spans = [(1.0, 2.0)]
+    assert coverage(clip(spans, (0.0, 2.0))) == pytest.approx(1.0)
+    assert coverage(clip(spans, (2.0, 4.0))) == 0.0

@@ -1,0 +1,104 @@
+"""Flight-recorder tests: bounded rings, exact aggregates, trip triggers,
+and tail-equivalence with a full tracer."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import SpanTracer
+from repro.sim import Simulator
+from repro.telemetry import FlightRecorder
+
+
+def _spans_workload(sim, tracer_target, n=10):
+    """Schedule n one-shot spans at 1us intervals (durations of zero are
+    fine: the histogram buckets zero explicitly)."""
+    for k in range(n):
+        sim.call_later((k + 1) * 1e-6,
+                       (lambda kk=k: tracer_target.begin(
+                           "phase", "work", step=kk).end()))
+
+
+def test_rings_bound_retention_but_aggregates_stay_exact():
+    sim = Simulator()
+    rec = FlightRecorder(capacity=4)
+    sim.set_tracer(rec)
+    _spans_workload(sim, rec, n=10)
+    sim.run()
+    # Only the last 4 spans are retained...
+    assert len(rec.spans) == 4
+    assert [s.attrs["step"] for s in rec.spans] == [6, 7, 8, 9]
+    # ...but the folded histogram saw all 10 (aggregates are unbounded).
+    assert rec.metrics.histogram("span.phase.work").count == 10
+
+
+def test_retained_spans_are_the_tail_of_a_full_trace():
+    """The dump-reconciliation property the monitor CLI checks: run the
+    same schedule under a full SpanTracer and under the recorder — the
+    recorder's spans must be exactly the full trace's tail."""
+    def run(tracer):
+        sim = Simulator()
+        sim.set_tracer(tracer)
+        _spans_workload(sim, tracer, n=12)
+        sim.run()
+        return [(s.category, s.name, s.track, s.begin, s.end)
+                for s in tracer.spans]
+
+    full = run(SpanTracer())
+    tail = run(FlightRecorder(capacity=5))
+    assert len(full) == 12
+    assert tail == full[-5:]
+
+
+def test_trigger_instant_trips_and_dumps():
+    sim = Simulator()
+    rec = FlightRecorder(capacity=8)
+    sim.set_tracer(rec)
+    dumps = []
+    rec.on_trip.append(lambda reason, dump: dumps.append((reason, dump)))
+    sim.call_later(1e-6, lambda: rec.instant("net", "packet-drop"))
+    sim.call_later(2e-6, lambda: rec.instant("fault", "retry-exhausted",
+                                             detail="conn 3"))
+    sim.run()
+    assert rec.tripped
+    assert len(rec.trips) == 1            # packet-drop is not a trigger
+    assert rec.trips[0]["reason"] == "fault/retry-exhausted"
+    assert rec.trips[0]["time"] == pytest.approx(2e-6)
+    reason, dump = dumps[0]
+    assert reason == "fault/retry-exhausted"
+    assert dump["detail"] == {"detail": "conn 3"}
+    # The dump holds the context BEFORE the failure, drop included.
+    assert [i["name"] for i in dump["instants"]] == \
+        ["packet-drop", "retry-exhausted"]
+
+
+def test_custom_triggers():
+    sim = Simulator()
+    rec = FlightRecorder(triggers=("packet-drop",))
+    sim.set_tracer(rec)
+    sim.call_later(1e-6, lambda: rec.instant("fault", "retry-exhausted"))
+    sim.call_later(2e-6, lambda: rec.instant("net", "packet-drop"))
+    sim.run()
+    assert [t["reason"] for t in rec.trips] == ["net/packet-drop"]
+
+
+def test_manual_trip_dump_is_json_safe_and_sees_open_spans():
+    sim = Simulator()
+    rec = FlightRecorder(capacity=8)
+    sim.set_tracer(rec)
+    _spans_workload(sim, rec, n=2)
+    sim.call_later(3e-6, lambda: rec.begin("rma", "stuck-put"))  # never ends
+    sim.run()
+    dump = rec.trip("slo:test", detail={"why": "unit test"})
+    json.dumps(dump)                      # must round-trip
+    assert dump["reason"] == "slo:test"
+    assert dump["capacity"] == 8
+    assert len(dump["spans"]) == 2
+    assert [o["name"] for o in dump["open_spans"]] == ["stuck-put"]
+    assert dump["counters"] == rec.metrics.counter_values()
+    assert rec.tripped
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)

@@ -1,0 +1,205 @@
+"""SLO tests: objective parsing, burn-rate verdicts, zero-budget stickiness,
+activity gating for lower-bound objectives."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import Simulator
+from repro.telemetry import Objective, Sampler, SloMonitor, render_verdicts
+
+
+def _sampler_with(series_points, hist_values=(), interval=1e-6):
+    """A sampler fed deterministically: ``series_points`` maps a series
+    name to [(time, value, kind)], ``hist_values`` is [(time, value)] for a
+    'lat' histogram.  Returns (sim, sampler, run_until)."""
+    sim = Simulator()
+    sampler = Sampler(sim, interval=interval)
+    state = {}
+    names = sorted(series_points)
+    counter_names = [n for n in names
+                     if all(k == "counter" for _, _, k in series_points[n])]
+    if counter_names:
+        sampler.watch_counters("", lambda: {n: state.get(n, 0)
+                                            for n in counter_names})
+    for name in names:
+        pts = series_points[name]
+        if name in counter_names:
+            for t, v, _ in pts:
+                sim.call_later(t, (lambda n=name, vv=v:
+                                   state.__setitem__(
+                                       n, state.get(n, 0) + vv)))
+        else:
+            sampler.watch_gauge(name, lambda n=name: state.get(n, 0.0))
+            for t, v, _ in pts:
+                sim.call_later(t, (lambda n=name, vv=v:
+                                   state.__setitem__(n, vv)))
+    if hist_values:
+        registry = MetricsRegistry()
+        sampler.watch_registry(registry)
+        hist = registry.histogram("lat")
+        for t, v in hist_values:
+            sim.call_later(t, (lambda vv=v: hist.observe(vv)))
+    return sim, sampler
+
+
+# -- Objective ------------------------------------------------------------------
+
+
+def test_objective_validation():
+    with pytest.raises(ConfigError):
+        Objective("bad-op", "m", "rate", "==", 1.0)
+    with pytest.raises(ConfigError):
+        Objective("bad-kind", "m", "median", "<", 1.0)
+    with pytest.raises(ConfigError):
+        Objective("bad-budget", "m", "rate", "<", 1.0, budget=1.0)
+    Objective("ok", "m", "p99.9", "<", 1.0, budget=0.5)
+
+
+def test_percentile_kind_parsing():
+    assert Objective("x", "m", "p99", "<", 1.0)._percentile_q() == 99.0
+    assert Objective("x", "m", "p50", "<", 1.0)._percentile_q() == 50.0
+    # pNNN digits are nines shorthand: p999 = 99.9, p9999 = 99.99.
+    assert Objective("x", "m", "p999", "<", 1.0)._percentile_q() == \
+        pytest.approx(99.9)
+    assert Objective("x", "m", "rate", "<", 1.0)._percentile_q() is None
+
+
+def test_parse_cli_shorthand():
+    o = Objective.parse("p99:span.rma.wr-put<10e-6", budget=0.2)
+    assert (o.kind, o.metric, o.op, o.threshold, o.budget) == \
+        ("p99", "span.rma.wr-put", "<", 10e-6, 0.2)
+    o = Objective.parse("rate:engine.messages>=6e6")
+    assert (o.kind, o.op, o.threshold) == ("rate", ">=", 6e6)
+    with pytest.raises(ConfigError):
+        Objective.parse("rate:engine.messages")       # no operator
+    with pytest.raises(ConfigError):
+        Objective.parse("engine.messages<1")          # no kind
+    with pytest.raises(ConfigError):
+        Objective.parse("rate:engine.messages<fast")  # bad threshold
+
+
+# -- live evaluation --------------------------------------------------------------
+
+
+def test_upper_bound_counts_breaches_per_window():
+    sim, sampler = _sampler_with(
+        {"drops": [(0.5e-6, 0, "counter"), (1.5e-6, 3, "counter"),
+                   (2.5e-6, 0, "counter")]})
+    monitor = SloMonitor(Objective("no drops", "drops", "total", "<=", 0.0,
+                                   budget=0.0))
+    sampler.on_tick.append(monitor.observe)
+    sampler.start()
+    sim.run(until=3.5e-6)
+    assert monitor.evaluated == 3
+    assert monitor.breaches == 1
+    assert monitor.verdict()["status"] == "breach"
+
+
+def test_zero_budget_breach_is_sticky():
+    """One breach with budget=0 stays 'breach' even after many clean
+    windows — there is no window over which a zero budget recovers."""
+    sim, sampler = _sampler_with(
+        {"drops": [(0.5e-6, 5, "counter")]})
+    monitor = SloMonitor(Objective("no drops", "drops", "total", "<=", 0.0,
+                                   budget=0.0), short_windows=3)
+    sampler.on_tick.append(monitor.observe)
+    sampler.start()
+    sim.run(until=20.5e-6)
+    short, long_ = monitor.burn_rates()
+    assert short == 0.0                      # recent windows are clean
+    assert monitor.verdict()["status"] == "breach"
+
+
+def test_nonzero_budget_uses_multi_window_burn():
+    sim, sampler = _sampler_with(
+        {"depth": [(0.2e-6, 9.0, "gauge")]})
+    obj = Objective("depth", "depth", "gauge", "<", 10.0, budget=0.25)
+    # All windows pass -> pass.
+    monitor = SloMonitor(obj, short_windows=4)
+    sampler.on_tick.append(monitor.observe)
+    sampler.start()
+    sim.run(until=8.5e-6)
+    assert monitor.verdict()["status"] == "pass"
+
+
+def test_burn_rate_pass_warn_breach():
+    """10 windows, budget 25%, short window 5: where the breaches land in
+    time decides pass vs warn vs breach."""
+    def run(breach_ticks):
+        sim = Simulator()
+        sampler = Sampler(sim, interval=1e-6)
+        sampler.watch_gauge(
+            "depth",
+            lambda: 99.0 if round(sim.now / 1e-6) in breach_ticks else 1.0)
+        monitor = SloMonitor(Objective("d", "depth", "gauge", "<", 10.0,
+                                       budget=0.25), short_windows=5)
+        sampler.on_tick.append(monitor.observe)
+        sampler.start()
+        sim.run(until=10.5e-6)
+        assert monitor.evaluated == 10
+        return monitor
+
+    # 2 early breaches: long burn 20% <= budget, recent windows clean.
+    early = run({1, 2})
+    assert early.breaches == 2
+    assert early.verdict()["status"] == "pass"
+
+    # 4 early breaches: long burn 40% over budget, but it recovered
+    # (short burn 0%) -> warn, not breach.
+    bleed = run({1, 2, 3, 4})
+    assert bleed.verdict()["status"] == "warn"
+
+    # 3 breaches at the end: short 60% and long 30% both over -> breach.
+    late = run({8, 9, 10})
+    assert late.breaches == 3
+    assert late.verdict()["status"] == "breach"
+
+
+def test_lower_bound_skips_idle_windows():
+    """rate >= X must not fail during setup/drain windows with zero
+    activity: no demand is not zero service."""
+    sim, sampler = _sampler_with(
+        {"msgs": [(3.5e-6, 100, "counter"), (4.5e-6, 100, "counter")]})
+    monitor = SloMonitor(Objective("rate", "msgs", "rate", ">=", 5e7,
+                                   budget=0.0))
+    sampler.on_tick.append(monitor.observe)
+    sampler.start()
+    sim.run(until=8.5e-6)
+    # Only the two active windows were judged (100 / 1us = 1e8 >= 5e7).
+    assert monitor.evaluated == 2
+    assert monitor.breaches == 0
+    assert monitor.verdict()["status"] == "pass"
+
+
+def test_upper_bound_still_sees_idle_windows():
+    sim, sampler = _sampler_with(
+        {"msgs": [(1.5e-6, 100, "counter")]})
+    monitor = SloMonitor(Objective("quiet", "msgs", "total", "<=", 10.0,
+                                   budget=0.0))
+    sampler.on_tick.append(monitor.observe)
+    sampler.start()
+    sim.run(until=4.5e-6)
+    assert monitor.evaluated == 4            # idle windows judged too
+    assert monitor.breaches == 1
+
+
+def test_percentile_objective_over_window_histogram():
+    sim, sampler = _sampler_with(
+        {}, hist_values=[(0.5e-6, 1e-6), (1.5e-6, 50e-6), (2.5e-6, 2e-6)])
+    monitor = SloMonitor(Objective("tail", "lat", "p99", "<", 10e-6,
+                                   budget=0.0))
+    sampler.on_tick.append(monitor.observe)
+    sampler.start()
+    sim.run(until=3.5e-6)
+    assert monitor.evaluated == 3
+    assert monitor.breaches == 1             # only the 50us window
+    assert monitor.verdict()["status"] == "breach"
+
+
+def test_no_data_verdict_and_render():
+    monitor = SloMonitor(Objective("ghost", "nothing", "rate", "<", 1.0))
+    v = monitor.verdict()
+    assert v["status"] == "no-data"
+    table = render_verdicts([v])
+    assert "ghost" in table and "no-data" in table
