@@ -18,7 +18,13 @@ Subcommands:
   acceptance invariants (``python -m repro engine --quick``),
 * ``monitor`` — run a scenario under the live telemetry plane: sampled
   time series, SLO verdicts, flight-recorder dumps
-  (``python -m repro monitor engine --quick``).
+  (``python -m repro monitor engine --quick``),
+* ``triggered`` — stage a ring exchange as counter-fired descriptor chains
+  and compare its control path against host assist
+  (``python -m repro triggered --nodes 4``),
+* ``mpi`` — the MPI-shaped layer: tagged ping-pong across the
+  eager/rendezvous crossover plus the triggered iallreduce ablation
+  (``python -m repro mpi --nodes 4 --size 256``).
 """
 
 import sys
@@ -47,6 +53,12 @@ def main(argv=None) -> int:
     if argv and argv[0] == "monitor":
         from .telemetry.cli import main as monitor_main
         return monitor_main(argv[1:])
+    if argv and argv[0] == "triggered":
+        from .triggered.cli import main as triggered_main
+        return triggered_main(argv[1:])
+    if argv and argv[0] == "mpi":
+        from .mpi.cli import main as mpi_main
+        return mpi_main(argv[1:])
     if argv and argv[0] == "report":
         argv = argv[1:]
     from .analysis.report import main as report_main

@@ -100,6 +100,17 @@ def rate_at_least(rate: float, floor: float, rate_label: str = "rate",
                 f"{'>=' if ok else '<'} {floor_label} {floor:.4g}")
 
 
+def at_most(value: float, ceiling: float, value_label: str = "value",
+            ceiling_label: str = "ceiling") -> Verdict:
+    """Ordering toward zero: ``value`` must not exceed ``ceiling`` (e.g.
+    the triggered layer's host-side MMIO count vs the offload engine's
+    batched floor — the whole point of counter-fired chains is to sit AT OR
+    BELOW what even perfect coalescing can reach)."""
+    ok = value <= ceiling
+    return ok, (f"{value_label} {value:.4g} "
+                f"{'<=' if ok else 'EXCEEDS'} {ceiling_label} {ceiling:.4g}")
+
+
 def mmio_coalesced(doorbells: int, descriptors: int, batch_size: int,
                    timeout_flushes: int = 0, lanes: int = 1) -> Verdict:
     """Doorbell coalescing's defining bound: posting N descriptors with

@@ -19,7 +19,8 @@ leaves on the table, with three independently switchable optimizations:
 and checks the acceptance invariants against the span trace.
 """
 
-from .batch import Aggregate, Aggregator, DoorbellBatcher, Flush, FlushPolicy
+from .batch import Aggregate, Aggregator, DoorbellBatcher, Flush, \
+    FlushPolicy, batched_mmio_floor
 from .engine import (
     PINGPONG_CONFIGS,
     EngineConfig,
@@ -55,6 +56,7 @@ __all__ = [
     "EngineConfig",
     "EngineStats",
     "aggregate_schedule",
+    "batched_mmio_floor",
     "channel_payload",
     "engine_extoll_rate_handles",
     "engine_ib_rate_handles",

@@ -230,3 +230,16 @@ class Aggregator:
                 self.aggregates += 1
                 self._open[cid] = (0, 0)
         return out
+
+
+def batched_mmio_floor(wr_count: int, batch_size: int) -> int:
+    """The engine's control-path floor: posting ``wr_count`` descriptors
+    with perfect ``batch_size`` coalescing costs this many MMIO operations
+    (one batched doorbell per full-or-final batch).  The triggered layer's
+    claim is that it beats even this — zero BAR crossings after staging —
+    so benchmarks compare against the floor, not against naive posting."""
+    if wr_count < 0:
+        raise ConfigError(f"negative descriptor count {wr_count}")
+    if batch_size < 1:
+        raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+    return -(-wr_count // batch_size)

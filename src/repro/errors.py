@@ -97,6 +97,16 @@ class CorruptionError(FaultError):
     instead of raising this)."""
 
 
+class TriggeredError(NicError):
+    """Misuse of the triggered-operations layer (arming a fired chain,
+    ticking an unknown counter, overflowing a staged channel, ...)."""
+
+
+class MpiError(ReproError):
+    """Misuse of the MPI-shaped layer (bad rank/tag, request reuse,
+    communicator driven after shutdown, ...)."""
+
+
 class ConfigError(ReproError):
     """Invalid configuration parameters."""
 

@@ -27,6 +27,9 @@ class ExtollConfig:
     requester_cycles: int = 80
     completer_cycles: int = 80
     responder_cycles: int = 40
+    # Counter-doorbell decode + threshold sweep of the triggered unit: far
+    # cheaper than a WR decode because the payload is one 64-bit word.
+    trigger_cycles: int = 24
 
     # Wire format.
     wr_bytes: int = 24                 # 192-bit work request (§V-A3)
@@ -77,6 +80,18 @@ class ExtollConfig:
         return self.requester_page_size - 8
 
     @property
+    def trigger_doorbell_offset(self) -> int:
+        """Offset inside a requester page of the counter-doorbell word.
+
+        A kernel (or any agent with the page mapped) ticks a triggered-
+        operations counter with ONE posted 8-byte store here, encoded as
+        ``(counter_id << 16) | amount`` — the cheapest possible "go" signal
+        a GPU can give the NIC.  Sits just below the batch doorbell so both
+        control words stay clear of the descriptor staging region.
+        """
+        return self.requester_page_size - 16
+
+    @property
     def batch_region_offset(self) -> int:
         """Start of the batch staging region inside a requester page.
 
@@ -88,13 +103,18 @@ class ExtollConfig:
 
     @property
     def max_batch_descriptors(self) -> int:
-        """How many descriptors fit between staging region and doorbell."""
-        return ((self.batch_doorbell_offset - self.batch_region_offset)
+        """How many descriptors fit between the staging region and the
+        lowest control word (the trigger doorbell)."""
+        return ((self.trigger_doorbell_offset - self.batch_region_offset)
                 // self.wr_bytes)
 
     @property
     def requester_time(self) -> float:
         return self.cycles(self.requester_cycles)
+
+    @property
+    def trigger_time(self) -> float:
+        return self.cycles(self.trigger_cycles)
 
     @property
     def completer_time(self) -> float:

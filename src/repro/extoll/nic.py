@@ -64,6 +64,12 @@ class ExtollNic:
         # Batched-doorbell stats (engine's MMIO-coalescing path).
         self.batch_doorbells = 0
         self.batch_descriptors = 0
+        # Single descriptors pushed through the BAR (host-assist control).
+        self.wr_posts = 0
+        # Counter-doorbell stats + the triggered-operations unit, installed
+        # by repro.triggered.TriggeredUnit when a model opts in.
+        self.trigger_doorbells = 0
+        self.triggered = None
 
     # -- wiring (driver load) ------------------------------------------------------
     def attach(self, fabric: PcieFabric, bar_base: int,
@@ -155,6 +161,21 @@ class ExtollNic:
                 self.batch_doorbells += 1
                 self.batch_descriptors += count
                 self.rma.post_many(wrs)
+            elif rel_off >= cfg.trigger_doorbell_offset:
+                # Counter doorbell: one 8-byte store ticks a triggered-
+                # operations counter — (counter_id << 16) | amount.  The
+                # triggered unit pays its decode stage and fires any chains
+                # whose thresholds the tick crosses.
+                word = int.from_bytes(self.bar.store.read(
+                    page_off + cfg.trigger_doorbell_offset, 8), "little")
+                if self.triggered is None:
+                    raise RmaError(
+                        f"{self.name}: counter doorbell rung but no "
+                        f"triggered unit is attached")
+                if trc.enabled:
+                    trc.metrics.counter("rma.trigger_doorbells").inc()
+                self.trigger_doorbells += 1
+                self.triggered.on_doorbell(word >> 16, word & 0xFFFF)
             elif rel_off < WR_BYTES <= rel_off + len(data):
                 # The descriptor is executed when its final word arrives —
                 # whether posted as one 24-byte burst (CPU,
@@ -168,6 +189,7 @@ class ExtollNic:
                                 port=wr.port, op=wr.op.name.lower(),
                                 bytes=wr.size)
                     trc.metrics.counter("rma.wr_triggers").inc()
+                self.wr_posts += 1
                 self.rma.post(wr)
         return handler
 

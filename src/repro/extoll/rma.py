@@ -153,6 +153,12 @@ class RmaUnit:
         ))
         # "When the transfer has been started, a requester notification is
         # created signaling the requester is able to receive another WR."
+        # Chain-posted WRs additionally carry an on_started hook (no wire
+        # representation, never round-tripped through encode/decode): the
+        # triggered unit counts local completions through it.
+        started = getattr(wr, "on_started", None)
+        if started is not None:
+            started()
         if wr.flags & NotifyFlags.REQUESTER:
             self._notify(port.requester_queue, RmaUnitKind.REQUESTER,
                          wr.port, wr.size)
@@ -166,6 +172,9 @@ class RmaUnit:
                   "size": wr.size, "port": wr.port, "flags": wr.flags,
                   "origin": self.nic.node_id},
         ))
+        started = getattr(wr, "on_started", None)
+        if started is not None:
+            started()
         if wr.flags & NotifyFlags.REQUESTER:
             self._notify(port.requester_queue, RmaUnitKind.REQUESTER,
                          wr.port, wr.size)

@@ -103,6 +103,11 @@ class CompletionQueue:
         self.entries = entries
         self.location = location
         self.producer_index = 0   # hardware-private
+        # Counting completions: plain callbacks invoked (no simulated cost)
+        # after the HCA lands a CQE in this queue — the hook the triggered-
+        # operations layer uses to tick threshold counters off completions.
+        # Empty by default: one truthiness check per CQE.
+        self.listeners: list = []
 
     def slot_addr(self, index: int) -> int:
         return self.buffer.base + (index % self.entries) * CQE_BYTES

@@ -550,6 +550,9 @@ class Hca:
         slot = cq.hw_claim_slot()
         yield from self.ctrl_dma.write(slot, cqe.encode())
         self.cqes_written += 1
+        if cq.listeners:
+            for listener in cq.listeners:
+                listener(cqe)
         trc = self.sim.tracer
         if trc.enabled:
             trc.instant("ib", f"cqe:{cqe.opcode.name}", track=f"{self.name}.cq",

@@ -1,0 +1,168 @@
+"""Nonblocking collectives staged as chain DAGs.
+
+Each collective is written as a plain generator over ``isend``/``irecv``
+requests (and float compute charges) and driven by a callback *pump*: when
+the generator yields an already-complete request the pump advances
+immediately, otherwise it parks a callback on the request's ``done`` event
+and returns.  Every hop therefore runs entirely inside NIC completion
+callbacks — the host never polls, and the only work between messages is
+the triggered layer arming the next pre-staged chain.
+
+The algorithms mirror :mod:`repro.collectives.algorithms` step for step
+(same ring schedule, same chunk indexing, same reduction association
+order), so an ``iallreduce`` here is bit-exact against PR 2's
+``ring_all_reduce`` for the same input vector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..collectives.algorithms import _pack, _unpack
+from ..errors import MpiError
+from .comm import MpiCommunicator, MpiRank
+from .request import MpiRequest
+
+#: Collective traffic lives in the top half of the 16-bit tag space so it
+#: can never collide with user point-to-point tags (kept below it by
+#: convention) — and successive collectives on one communicator use
+#: successive tags, which keeps concurrent collectives separated too.
+_COLL_TAG_BASE = 1 << 15
+_COLL_TAG_SPAN = 1 << 15
+
+
+def _coll_tag(rank: MpiRank) -> int:
+    """Per-rank collective sequence number mapped into the reserved tag
+    space.  MPI requires every rank to start the same collectives in the
+    same order, which makes the local counter globally consistent."""
+    seq = rank.coll_seq
+    rank.coll_seq += 1
+    return _COLL_TAG_BASE + seq % _COLL_TAG_SPAN
+
+
+def _pump(comm: MpiCommunicator, gen, req: MpiRequest) -> None:
+    """Drive ``gen`` to completion through completion callbacks."""
+    sim = comm.sim
+
+    def step(value=None) -> None:
+        item_value = value
+        while True:
+            try:
+                item = gen.send(item_value)
+            except StopIteration as stop:
+                req.complete(stop.value)
+                return
+            except Exception as exc:  # surfaces in check_async_errors
+                comm.async_errors.append(exc)
+                req.complete(None)
+                return
+            if isinstance(item, MpiRequest):
+                if item.done.processed:
+                    item_value = item.data
+                    continue
+                item.done.add_callback(lambda _ev, it=item: step(it.data))
+                return
+            # A float is a compute charge (reduction arithmetic).
+            sim.call_later(float(item), step,
+                           name=f"mpi:compute:{req.kind}:{req.rank}")
+            return
+
+    step()
+
+
+# -- the collectives -------------------------------------------------------------
+
+def ibarrier(comm: MpiCommunicator, rank: MpiRank) -> MpiRequest:
+    """Ring token barrier (two sweeps), returning immediately with a
+    request that completes once every rank has entered."""
+    tag = _coll_tag(rank)
+    req = MpiRequest(comm.sim, "barrier", rank.rank)
+
+    def body():
+        for _sweep in range(2):
+            if rank.rank == 0:
+                yield rank.isend(rank.next, b"\xb0" * 8, tag=tag)
+                yield rank.irecv(source=rank.prev, tag=tag)
+            else:
+                yield rank.irecv(source=rank.prev, tag=tag)
+                yield rank.isend(rank.next, b"\xb0" * 8, tag=tag)
+
+    _pump(comm, body(), req)
+    return req
+
+
+def ibcast(comm: MpiCommunicator, rank: MpiRank,
+           data: Optional[bytes] = None, root: int = 0) -> MpiRequest:
+    """Ring broadcast from ``root``; ``req.data`` is the payload."""
+    tag = _coll_tag(rank)
+    req = MpiRequest(comm.sim, "bcast", rank.rank)
+    pos = (rank.rank - root) % rank.size
+    if pos == 0 and data is None:
+        raise MpiError("ibcast root must supply data")
+
+    def body():
+        payload = data
+        if pos == 0:
+            yield rank.isend(rank.next, payload, tag=tag)
+        else:
+            payload = yield rank.irecv(source=rank.prev, tag=tag)
+            if pos != rank.size - 1:
+                yield rank.isend(rank.next, payload, tag=tag)
+        return payload
+
+    _pump(comm, body(), req)
+    return req
+
+
+def iallreduce(comm: MpiCommunicator, rank: MpiRank,
+               values: List[float]) -> MpiRequest:
+    """Ring all-reduce (sum) of a float64 vector; ``req.data`` holds the
+    packed result (``struct '<{n}d'``, same as PR 2's collectives).
+
+    The schedule is ``ring_all_reduce``'s, verbatim: a reduce-scatter pass
+    then an all-gather pass, ``2*(N-1)`` steps, with the reduction applied
+    in the identical ``owned + incoming`` association order — which is what
+    makes the result bit-exact against the PR 2 baseline.
+    """
+    n = rank.size
+    if not values or len(values) % n:
+        raise MpiError(
+            f"all-reduce vector length {len(values)} must be a positive "
+            f"multiple of the {n} ranks")
+    tag = _coll_tag(rank)
+    req = MpiRequest(comm.sim, "allreduce", rank.rank)
+    chunk_len = len(values) // n
+    per_instr = rank.node.gpu.config.instruction_time
+
+    def body():
+        chunks = [list(values[i * chunk_len:(i + 1) * chunk_len])
+                  for i in range(n)]
+        # Sends are issued WITHOUT waiting on their completion: a rendezvous
+        # send only finishes once the peer's matching receive produced the
+        # CTS, so send-then-wait-then-recv would deadlock the symmetric
+        # ring.  Post the send, block on the receive, drain sends at the
+        # end.
+        sends = []
+        for s in range(n - 1):
+            send_idx = (rank.rank - s) % n
+            recv_idx = (rank.rank - s - 1) % n
+            sends.append(rank.isend(rank.next, _pack(chunks[send_idx]),
+                                    tag=tag))
+            incoming = _unpack((yield rank.irecv(source=rank.prev,
+                                                 tag=tag)))
+            yield 2 * chunk_len * per_instr     # fused add of one chunk
+            chunks[recv_idx] = [a + b
+                                for a, b in zip(chunks[recv_idx], incoming)]
+        for s in range(n - 1):
+            send_idx = (rank.rank + 1 - s) % n
+            recv_idx = (rank.rank - s) % n
+            sends.append(rank.isend(rank.next, _pack(chunks[send_idx]),
+                                    tag=tag))
+            chunks[recv_idx] = _unpack((yield rank.irecv(source=rank.prev,
+                                                         tag=tag)))
+        for sreq in sends:
+            yield sreq
+        return _pack([v for chunk in chunks for v in chunk])
+
+    _pump(comm, body(), req)
+    return req

@@ -1,0 +1,92 @@
+"""Message envelopes — the 24-byte MPI header travelling inside msglib slots.
+
+Every MPI-layer message is one msglib slot whose payload begins with an
+envelope; the slot header (``(seq << 16) | length``) stays untouched, so the
+transport's in-order / last-element-written arguments keep holding.
+
+Envelope layout (three little-endian u64 words):
+
+* word 0: | kind:4 | src_rank:8 | comm_id:8 | tag:16 |
+* word 1: size — payload bytes (EAGER), message bytes (RTS),
+          destination NLA (CTS)
+* word 2: handle — the sender-side rendezvous operation id (RTS/CTS/FIN)
+
+Protocol kinds:
+
+* ``EAGER`` — payload rides in the same slot, right after the envelope.
+* ``RTS``   — ready to send: a message above the eager threshold announces
+  itself; no payload.
+* ``CTS``   — clear to send: the receiver's reply carrying the NLA of the
+  landing buffer it registered.
+* ``FIN``   — the sender's last word: it follows the raw-data put on the
+  same in-order path, so its arrival proves the payload landed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import MpiError
+
+ENVELOPE_BYTES = 24
+
+#: Wildcards accepted by ``irecv`` (matched in software, never on the wire).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+MAX_TAG = (1 << 16) - 1
+
+
+class MsgKind(enum.IntEnum):
+    EAGER = 1
+    RTS = 2
+    CTS = 3
+    FIN = 4
+
+
+@dataclass(frozen=True)
+class Envelope:
+    kind: MsgKind
+    src_rank: int
+    comm_id: int
+    tag: int
+    size: int = 0
+    handle: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tag <= MAX_TAG:
+            raise MpiError(f"tag {self.tag} outside 0..{MAX_TAG}")
+        if not 0 <= self.src_rank < 256:
+            raise MpiError(f"source rank {self.src_rank} outside 0..255")
+        if not 0 <= self.comm_id < 256:
+            raise MpiError(f"comm id {self.comm_id} outside 0..255")
+
+    def encode(self) -> bytes:
+        word0 = (int(self.kind) & 0xF) \
+            | ((self.src_rank & 0xFF) << 4) \
+            | ((self.comm_id & 0xFF) << 12) \
+            | ((self.tag & 0xFFFF) << 20)
+        return (word0.to_bytes(8, "little")
+                + self.size.to_bytes(8, "little")
+                + self.handle.to_bytes(8, "little"))
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Envelope":
+        if len(raw) != ENVELOPE_BYTES:
+            raise MpiError(
+                f"envelope must be {ENVELOPE_BYTES} bytes, got {len(raw)}")
+        word0 = int.from_bytes(raw[0:8], "little")
+        kind_val = word0 & 0xF
+        try:
+            kind = MsgKind(kind_val)
+        except ValueError:
+            raise MpiError(f"bad envelope kind {kind_val}") from None
+        return cls(
+            kind=kind,
+            src_rank=(word0 >> 4) & 0xFF,
+            comm_id=(word0 >> 12) & 0xFF,
+            tag=(word0 >> 20) & 0xFFFF,
+            size=int.from_bytes(raw[8:16], "little"),
+            handle=int.from_bytes(raw[16:24], "little"),
+        )

@@ -373,3 +373,77 @@ def sim_throughput() -> ScenarioResult:
                100.0 * (wall_telemetry - best) / best, kind="wallclock",
                unit="%")
     return res
+
+
+# -- MPI-shaped layer (triggered operations) -------------------------------------
+
+@_register("mpi-latency",
+           "Tagged MPI ping-pong across the eager/rendezvous crossover, "
+           "CPU-free control path")
+def mpi_latency() -> ScenarioResult:
+    from ..mpi.bench import run_mpi_pingpong
+    from ..mpi.comm import MpiConfig
+
+    res = ScenarioResult()
+    config = MpiConfig()
+    thr = config.eager_threshold
+    points = {}
+    for size in (thr // 2, thr, thr + 1, 8 * thr):
+        p = run_mpi_pingpong(size, iterations=6, warmup=2, config=config)
+        points[size] = p
+        res.metric(f"{size}B/latency_us", p.point.latency_us, unit="us")
+        res.metric(f"{size}B/rndv_sent", p.rndv_sent, kind="count")
+        res.metric(f"{size}B/bar_mmio", p.bar_mmio, kind="count")
+    res.invariant("zero-bar-mmio",
+                  (all(p.bar_mmio == 0 for p in points.values()),
+                   f"BAR crossings by size: "
+                   f"{ {s: p.bar_mmio for s, p in points.items()} }"))
+    res.invariant("eager-below-threshold",
+                  (points[thr].rndv_sent == 0 and points[thr].eager_sent > 0,
+                   f"{thr}B went {points[thr].protocol}"))
+    res.invariant("rendezvous-above-threshold",
+                  (points[thr + 1].rndv_sent > 0
+                   and points[thr + 1].eager_sent == 0,
+                   f"{thr + 1}B went {points[thr + 1].protocol}"))
+    res.invariant("crossover-costs-a-roundtrip", inv.faster_than(
+        points[thr].point.latency, points[thr + 1].point.latency,
+        f"eager {thr}B", f"rendezvous {thr + 1}B"))
+    return res
+
+
+@_register("mpi-allreduce",
+           "Triggered-chain iallreduce vs all three host-assist control "
+           "modes: MMIO at or below the engine-batched floor")
+def mpi_allreduce() -> ScenarioResult:
+    from ..engine import batched_mmio_floor
+    from ..mpi.bench import run_mode_allreduce_mmio, run_mpi_allreduce
+    from ..obs.tracer import SpanTracer
+
+    res = ScenarioResult()
+    nodes, size = 4, 256
+    tracer = SpanTracer()
+    ar = run_mpi_allreduce(nodes, size, iterations=4, warmup=1,
+                           tracer=tracer)
+    res.metric("triggered/latency_us", ar.point.latency_us, unit="us")
+    res.metric("triggered/chains_fired", ar.chains_fired, kind="count")
+    res.metric("triggered/bar_mmio", ar.bar_mmio, kind="count")
+    res.invariant("allreduce-exact", (ar.correct, "sums exact vs reference"))
+    res.invariant("reconciles-1pct",
+                  (bool(ar.reconcile["ok"]),
+                   "chains vs spans vs LatencyPoint within 1%"))
+    floor = None
+    for mode in (CollectiveMode.POLL_ON_GPU, CollectiveMode.DIRECT,
+                 CollectiveMode.HOST_CONTROLLED):
+        m = run_mode_allreduce_mmio(mode, nodes, size, iterations=4,
+                                    warmup=1)
+        res.metric(f"{m['mode']}/latency_us", m["latency_us"], unit="us")
+        res.metric(f"{m['mode']}/bar_mmio", m["bar_mmio"], kind="count")
+        res.invariant(f"{m['mode']}/correct", (m["correct"], "sums exact"))
+        floor = batched_mmio_floor(m["wrs_posted"], 8) if floor is None \
+            else min(floor, batched_mmio_floor(m["wrs_posted"], 8))
+    res.metric("engine_floor", floor, kind="count")
+    res.invariant("triggered-at-or-below-engine-floor", inv.at_most(
+        ar.bar_mmio, floor, "triggered MMIO", "batched floor"))
+    res.invariant("host-assist-above-floor",
+                  (ar.bar_mmio == 0, f"triggered BAR MMIO = {ar.bar_mmio}"))
+    return res

@@ -9,7 +9,7 @@ The rest of the library is built on four ideas:
   message-passing between processes.
 """
 
-from .engine import Simulator
+from .engine import ScheduledCall, Simulator
 from .event import Event, EventState, Timeout
 from .primitives import AllOf, AnyOf
 from .process import Interrupt, Process, join_result
@@ -28,6 +28,7 @@ from .trace import (
 
 __all__ = [
     "Simulator",
+    "ScheduledCall",
     "Event",
     "EventState",
     "Timeout",

@@ -20,6 +20,59 @@ from .event import Event, Timeout
 from .trace import NULL_TRACER, get_default_tracer
 
 
+class ScheduledCall:
+    """Cancellable handle returned by :meth:`Simulator.call_later`.
+
+    The underlying :class:`~repro.sim.event.Timeout` is already on the heap
+    the moment it is created, so cancellation cannot unschedule it; instead
+    :meth:`cancel` drops the function reference and the heap entry fires as
+    a no-op.  That is exactly what the triggered-operations layer needs to
+    retire rendezvous timeouts and armed-but-never-fired chains: the closure
+    (and everything it captures) is released immediately, and nothing runs
+    when the slot's time arrives.
+    """
+
+    __slots__ = ("event", "_fn", "_fired")
+
+    def __init__(self, event: Timeout, fn: Callable[[], None]) -> None:
+        self.event = event
+        self._fn: Optional[Callable[[], None]] = fn
+        self._fired = False
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has actually run."""
+        return self._fired
+
+    @property
+    def cancelled(self) -> bool:
+        return self._fn is None and not self._fired
+
+    @property
+    def active(self) -> bool:
+        """Still scheduled: neither fired nor cancelled."""
+        return self._fn is not None
+
+    def cancel(self) -> bool:
+        """Retire the call; returns False if it already fired or was
+        already cancelled."""
+        if self._fn is None:
+            return False
+        self._fn = None
+        return True
+
+    def _run(self, _ev: Event) -> None:
+        fn, self._fn = self._fn, None
+        if fn is not None:
+            self._fired = True
+            fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else (
+            "cancelled" if self._fn is None else "scheduled")
+        return f"<ScheduledCall {self.event.name!r} {state}>"
+
+
 class Simulator:
     """Event loop for one simulated system.
 
@@ -83,17 +136,19 @@ class Simulator:
         return Process(self, generator, name)
 
     def call_later(self, delay: float, fn: Callable[[], None],
-                   name: str = "") -> Timeout:
+                   name: str = "") -> ScheduledCall:
         """Run ``fn()`` after ``delay`` seconds of simulated time.
 
         One heap entry, no coroutine machinery — the cheapest way to hook
         periodic observers (e.g. the telemetry sampler) onto the event
         loop; ``fn`` may re-arm itself by calling :meth:`call_later` again.
-        Returns the scheduled :class:`Timeout` so callers can inspect it.
+        Returns a :class:`ScheduledCall` whose :meth:`~ScheduledCall.cancel`
+        turns the pending fire into a no-op and releases ``fn``.
         """
         ev = Timeout(self, delay, name=name or "call_later")
-        ev.add_callback(lambda _ev: fn())
-        return ev
+        handle = ScheduledCall(ev, fn)
+        ev.add_callback(handle._run)
+        return handle
 
     # -- scheduling -------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:

@@ -70,6 +70,18 @@ class TelemetryPlane:
     def watch_gauge(self, name: str, fn: Callable[[], float]) -> None:
         self.sampler.watch_gauge(name, fn)
 
+    def watch_triggered(self, unit) -> None:
+        """Chain/counter activity of one node's triggered-operations unit
+        (→ ``trig.{node}.*`` series, ``armed`` as a gauge)."""
+        self.watch_stats(f"trig.n{unit.node.node_id}", unit.stats)
+
+    def watch_mpi(self, comm) -> None:
+        """The MPI layer's aggregated protocol counters plus every rank's
+        matching queues (→ ``mpi.*`` and ``mpi.rank{r}.match.*`` series)."""
+        self.watch_stats("mpi", comm)
+        for rank in comm.ranks:
+            self.watch_stats(f"mpi.rank{rank.rank}.match", rank.matcher)
+
     def watch_fabric(self, fabric, bandwidth: Optional[float] = None) -> None:
         """Per-link wire-byte counters (→ ``link.{a}-{b}.bytes`` series);
         with ``bandwidth`` also a ``link.{a}-{b}.util`` gauge in [0, 1]."""

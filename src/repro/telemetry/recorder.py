@@ -47,8 +47,8 @@ DEFAULT_TRIGGERS = ("retry-exhausted",)
 #: filtering skips even the argument construction.  Pass
 #: ``categories=None`` for a full-fidelity recorder.
 DEFAULT_CATEGORIES = ("bench", "collective", "fault", "gpu.block",
-                      "gpu.kernel", "ib", "ib.api", "net", "phase", "rel",
-                      "rma", "rma.api")
+                      "gpu.kernel", "ib", "ib.api", "mpi", "net", "phase",
+                      "rel", "rma", "rma.api", "trig")
 
 
 class FlightRecorder(SpanTracer):

@@ -1,0 +1,55 @@
+"""Stream-ordered communication: ``comm_enqueue(stream, chain)``.
+
+A staged chain can be enqueued on a GPU stream like a kernel launch.  The
+chain fires only after every prior launch on that stream has completed, and
+later launches on the stream wait until the chain's descriptors have all
+been started by the NIC — i.e. the chain occupies one slot of the stream's
+FIFO, exactly like the deferred-execution streams of arXiv:2406.05594.
+
+The enqueue itself is a host-side queue operation (no simulated MMIO): the
+descriptors were staged on the NIC ahead of time, so when stream order
+reaches the chain the unit fires it NIC-internally.
+"""
+
+from __future__ import annotations
+
+from ..errors import TriggeredError
+from ..sim import Event
+from .chain import ChainState, DescriptorChain
+
+
+class CommHandle(Event):
+    """Stream-slot handle for an enqueued chain (quacks like a
+    :class:`~repro.gpu.kernel.KernelHandle` as far as streams care)."""
+
+    __slots__ = ("fn_name", "chain")
+
+    def __init__(self, sim, chain: DescriptorChain) -> None:
+        super().__init__(sim, name=f"comm:{chain.name}")
+        self.fn_name = f"comm:{chain.name}"
+        self.chain = chain
+
+
+def comm_enqueue(stream, chain: DescriptorChain) -> CommHandle:
+    """Enqueue ``chain`` on ``stream``; returns the stream-slot handle.
+
+    The chain must be STAGED (armed chains belong to their counter; letting
+    stream order also fire them would race the two triggers).
+    """
+    if chain.state is not ChainState.STAGED:
+        raise TriggeredError(
+            f"{chain.name}: comm_enqueue needs a staged chain, "
+            f"not {chain.state.value}")
+    if not chain.wrs:
+        raise TriggeredError(f"{chain.name}: comm_enqueue on an empty chain")
+    unit = chain.unit
+    handle = CommHandle(unit.sim, chain)
+
+    def launcher():
+        unit.fire_now(chain, via="stream")
+        if not chain.completed.processed:
+            yield chain.completed
+        handle.succeed()
+
+    stream.chain(handle, launcher())
+    return handle

@@ -1,0 +1,92 @@
+"""Stream-ordered communication: comm_enqueue serializes against kernels."""
+
+import pytest
+
+from repro.cluster import build_extoll_cluster
+from repro.errors import TriggeredError
+from repro.extoll import NotifyFlags, RmaOp, RmaWorkRequest
+from repro.triggered import ChainState, TriggeredUnit, comm_enqueue
+from repro.units import US
+
+
+@pytest.fixture
+def testbed():
+    cluster = build_extoll_cluster()
+    a, b = cluster.a, cluster.b
+    a.nic.open_port(0)
+    b.nic.open_port(0)
+    return cluster, a, b, TriggeredUnit(a)
+
+
+def _staged_put(a, b, payload: bytes):
+    src = a.host_malloc(len(payload))
+    dst = b.host_malloc(len(payload))
+    a.host_mem.write(src.base, payload)
+    wr = RmaWorkRequest(op=RmaOp.PUT, port=0, dst_node=1,
+                        src_nla=a.nic.register_memory(src).base,
+                        dst_nla=b.nic.register_memory(dst).base,
+                        size=len(payload), flags=NotifyFlags.NONE)
+    return wr, dst
+
+
+def test_comm_enqueue_runs_after_prior_kernel(testbed):
+    cluster, a, b, ua = testbed
+    wr, dst = _staged_put(a, b, b"q" * 64)
+    chain = ua.chain("send").append(wr)
+    stream = a.gpu.stream("comm")
+    order = []
+
+    def compute(ctx):
+        yield from ctx.alu(5000)
+        order.append(("kernel", cluster.sim.now))
+
+    a.gpu.launch(compute, stream=stream)
+    handle = comm_enqueue(stream, chain)
+    handle.add_callback(lambda _ev: order.append(("comm", cluster.sim.now)))
+    cluster.sim.run(until=500 * US)
+    assert [name for name, _ in order] == ["kernel", "comm"]
+    assert order[1][1] > order[0][1]  # chain fired only after the kernel
+    assert chain.state is ChainState.COMPLETED
+    assert b.host_mem.read(dst.base, 64) == b"q" * 64
+    assert ua.stats.stream_enqueues == 1
+
+
+def test_later_kernel_waits_for_comm(testbed):
+    cluster, a, b, ua = testbed
+    wr, _ = _staged_put(a, b, b"k" * 64)
+    chain = ua.chain().append(wr)
+    stream = a.gpu.stream()
+    comm_enqueue(stream, chain)
+    seen = []
+
+    def after(ctx):
+        seen.append(chain.state)
+        yield from ctx.alu(1)
+
+    a.gpu.launch(after, stream=stream)
+    cluster.sim.run(until=500 * US)
+    assert seen == [ChainState.COMPLETED]
+
+
+def test_chains_on_different_streams_overlap(testbed):
+    cluster, a, b, ua = testbed
+    wr1, dst1 = _staged_put(a, b, b"1" * 64)
+    wr2, dst2 = _staged_put(a, b, b"2" * 64)
+    s1, s2 = a.gpu.stream(), a.gpu.stream()
+    h1 = comm_enqueue(s1, ua.chain().append(wr1))
+    h2 = comm_enqueue(s2, ua.chain().append(wr2))
+    cluster.sim.run(until=500 * US)
+    assert h1.processed and h2.processed
+    assert b.host_mem.read(dst1.base, 64) == b"1" * 64
+    assert b.host_mem.read(dst2.base, 64) == b"2" * 64
+
+
+def test_enqueue_rejects_armed_or_empty_chain(testbed):
+    cluster, a, b, ua = testbed
+    stream = a.gpu.stream()
+    with pytest.raises(TriggeredError):
+        comm_enqueue(stream, ua.chain())  # empty
+    wr, _ = _staged_put(a, b, b"e" * 64)
+    armed = ua.chain().append(wr).arm(ua.counter(), 1)
+    with pytest.raises(TriggeredError):
+        comm_enqueue(stream, armed)
