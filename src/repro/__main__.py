@@ -1,68 +1,112 @@
 """``python -m repro`` — the command-line entry point.
 
-Subcommands:
-
-* ``report`` (default) — print the full reproduction report
-  (``python -m repro [report] [--scale S] [--trace PATH]``),
-* ``trace`` — run one traced ping-pong and export a Chrome trace
-  (``python -m repro trace --mode dev2dev-direct --size 64 --out trace.json``),
-* ``collectives`` — N-node collective sweeps and traced runs
-  (``python -m repro collectives --op all-reduce --nodes 2,4,8``),
-* ``faults`` — chaos sweeps under deterministic fault injection
-  (``python -m repro faults --loss 0,0.01,0.05 --mode all``),
-* ``profile`` — cost-attribute one measurement into phases
-  (``python -m repro profile --mode dev2dev-direct --size 64``),
-* ``bench`` — record/check benchmark-regression baselines
-  (``python -m repro bench --check --quick``),
-* ``engine`` — sweep the GPU offload engine's optimizations and check its
-  acceptance invariants (``python -m repro engine --quick``),
-* ``monitor`` — run a scenario under the live telemetry plane: sampled
-  time series, SLO verdicts, flight-recorder dumps
-  (``python -m repro monitor engine --quick``),
-* ``triggered`` — stage a ring exchange as counter-fired descriptor chains
-  and compare its control path against host assist
-  (``python -m repro triggered --nodes 4``),
-* ``mpi`` — the MPI-shaped layer: tagged ping-pong across the
-  eager/rendezvous crossover plus the triggered iallreduce ablation
-  (``python -m repro mpi --nodes 4 --size 256``).
+Subcommands are dispatched through :data:`COMMANDS`, a registry mapping
+each name to a lazy loader plus a one-line description (printed by the
+help table).  An unknown subcommand prints the table and exits 2 instead
+of falling through to the default report with a confusing argparse error.
+Bare flags (``python -m repro --scale 2``) still reach ``report``, which
+stays the default command.
 """
 
 import sys
+from typing import Callable, Dict, List, Optional, Tuple
 
 
-def main(argv=None) -> int:
+def _report(argv: List[str]) -> int:
+    from .analysis.report import main
+    return main(argv)
+
+
+def _trace(argv: List[str]) -> int:
+    from .obs.cli import main
+    return main(argv)
+
+
+def _profile(argv: List[str]) -> int:
+    from .perf.cli import profile_main
+    return profile_main(argv)
+
+
+def _bench(argv: List[str]) -> int:
+    from .perf.cli import bench_main
+    return bench_main(argv)
+
+
+def _collectives(argv: List[str]) -> int:
+    from .collectives.cli import main
+    return main(argv)
+
+
+def _faults(argv: List[str]) -> int:
+    from .faults.cli import main
+    return main(argv)
+
+
+def _engine(argv: List[str]) -> int:
+    from .engine.cli import main
+    return main(argv)
+
+
+def _monitor(argv: List[str]) -> int:
+    from .telemetry.cli import main
+    return main(argv)
+
+
+def _triggered(argv: List[str]) -> int:
+    from .triggered.cli import main
+    return main(argv)
+
+
+def _mpi(argv: List[str]) -> int:
+    from .mpi.cli import main
+    return main(argv)
+
+
+def _workloads(argv: List[str]) -> int:
+    from .workloads.cli import main
+    return main(argv)
+
+
+#: name -> (loader, one-line description).  Loaders import lazily so
+#: ``python -m repro bench`` never pays for the telemetry stack and vice
+#: versa.
+COMMANDS: Dict[str, Tuple[Callable[[List[str]], int], str]] = {
+    "report": (_report, "print the full reproduction report (default)"),
+    "trace": (_trace, "run one traced ping-pong, export a Chrome trace"),
+    "profile": (_profile, "cost-attribute one measurement into phases"),
+    "bench": (_bench, "record/check benchmark-regression baselines"),
+    "collectives": (_collectives, "N-node collective sweeps + traced runs"),
+    "faults": (_faults, "chaos sweeps under deterministic fault injection"),
+    "engine": (_engine, "offload-engine ablation sweep + invariants"),
+    "monitor": (_monitor, "run a scenario under the live telemetry plane"),
+    "triggered": (_triggered, "counter-fired descriptor chains vs host "
+                              "assist"),
+    "mpi": (_mpi, "tagged ping-pong + triggered iallreduce ablation"),
+    "workloads": (_workloads, "open-loop service traffic: app workloads "
+                              "x control modes, p50/p99/p999 vs SLOs"),
+}
+
+
+def render_command_table() -> str:
+    width = max(len(name) for name in COMMANDS) + 2
+    lines = ["usage: python -m repro <command> [options]", "", "commands:"]
+    for name, (_fn, desc) in COMMANDS.items():
+        lines.append(f"  {name.ljust(width)}{desc}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "trace":
-        from .obs.cli import main as trace_main
-        return trace_main(argv[1:])
-    if argv and argv[0] == "profile":
-        from .perf.cli import profile_main
-        return profile_main(argv[1:])
-    if argv and argv[0] == "bench":
-        from .perf.cli import bench_main
-        return bench_main(argv[1:])
-    if argv and argv[0] == "collectives":
-        from .collectives.cli import main as coll_main
-        return coll_main(argv[1:])
-    if argv and argv[0] == "faults":
-        from .faults.cli import main as faults_main
-        return faults_main(argv[1:])
-    if argv and argv[0] == "engine":
-        from .engine.cli import main as engine_main
-        return engine_main(argv[1:])
-    if argv and argv[0] == "monitor":
-        from .telemetry.cli import main as monitor_main
-        return monitor_main(argv[1:])
-    if argv and argv[0] == "triggered":
-        from .triggered.cli import main as triggered_main
-        return triggered_main(argv[1:])
-    if argv and argv[0] == "mpi":
-        from .mpi.cli import main as mpi_main
-        return mpi_main(argv[1:])
-    if argv and argv[0] == "report":
-        argv = argv[1:]
-    from .analysis.report import main as report_main
-    return report_main(argv)
+    if not argv or argv[0].startswith("-"):
+        # Bare flags (--scale, --trace) belong to the default report.
+        return _report(argv)
+    name, rest = argv[0], argv[1:]
+    entry = COMMANDS.get(name)
+    if entry is None:
+        print(f"unknown command {name!r}\n", file=sys.stderr)
+        print(render_command_table(), file=sys.stderr)
+        return 2
+    return entry[0](rest)
 
 
 if __name__ == "__main__":

@@ -23,6 +23,29 @@ from ..errors import BenchmarkError
 #: The 8-byte token circulated by :func:`barrier`.
 _TOKEN = struct.pack("<Q", 0xB0)
 
+#: Element-wise reduction operators understood by :func:`ring_all_reduce`
+#: and mirrored by :func:`repro.mpi.collectives.iallreduce`.  Each combiner
+#: is applied in the fixed ``owned OP incoming`` association order on both
+#: paths, which is what keeps the two implementations bit-exact against
+#: each other for every op — including the non-commutative-rounding ``sum``
+#: and ``prod`` cases.
+REDUCE_OPS = {
+    "sum": lambda a, b: a + b,
+    "max": lambda a, b: a if a >= b else b,
+    "min": lambda a, b: a if a <= b else b,
+    "prod": lambda a, b: a * b,
+}
+
+
+def resolve_reduce_op(op: str):
+    """The combiner for ``op``, or :class:`BenchmarkError` with choices."""
+    try:
+        return REDUCE_OPS[op]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown reduction op {op!r} "
+            f"(choose from: {', '.join(sorted(REDUCE_OPS))})") from None
+
 
 def _pack(chunk: List[float]) -> bytes:
     return struct.pack(f"<{len(chunk)}d", *chunk)
@@ -87,9 +110,9 @@ def all_gather(ctx, rc, contribution: bytes) -> Tuple[List[bytes], int]:
     return pieces, steps
 
 
-def ring_all_reduce(ctx, rc,
-                    values: List[float]) -> Tuple[List[float], int]:
-    """Bandwidth-optimal ring all-reduce (sum) of a float64 vector.
+def ring_all_reduce(ctx, rc, values: List[float],
+                    op: str = "sum") -> Tuple[List[float], int]:
+    """Bandwidth-optimal ring all-reduce of a float64 vector.
 
     The vector is split into ``N`` chunks; a reduce-scatter pass (``N-1``
     steps) leaves each rank with one fully reduced chunk, then an
@@ -97,7 +120,12 @@ def ring_all_reduce(ctx, rc,
     canonical ``2*(N-1)`` step schedule whose step count the analysis
     verifies.  Each step moves ``len(values)/N`` elements, so per-step cost
     is directly comparable to a 2-node ping-pong of the chunk size.
+
+    ``op`` selects the element-wise reduction from :data:`REDUCE_OPS`
+    (``sum``/``max``/``min``/``prod``); the combiner is always applied as
+    ``op(owned, incoming)`` so the result is reproducible bit for bit.
     """
+    combine = resolve_reduce_op(op)
     n = rc.size
     if not values or len(values) % n:
         raise BenchmarkError(
@@ -116,7 +144,8 @@ def ring_all_reduce(ctx, rc,
         yield from rc.send(ctx, rc.next, _pack(chunks[send_idx]))
         incoming = _unpack((yield from rc.recv(ctx, rc.prev)))
         yield from rc.compute(ctx, 2 * chunk_len)  # fused add of one chunk
-        chunks[recv_idx] = [a + b for a, b in zip(chunks[recv_idx], incoming)]
+        chunks[recv_idx] = [combine(a, b)
+                            for a, b in zip(chunks[recv_idx], incoming)]
         steps += 1
     # All-gather of the reduced chunks, starting from the one this rank owns.
     for s in range(n - 1):

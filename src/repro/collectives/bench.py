@@ -86,11 +86,13 @@ def build_communicator(num_nodes: int, size: int,
                        sim: Optional[Simulator] = None,
                        reliable: bool = False,
                        reliability_config=None,
+                       connectivity: str = "ring",
                        ) -> Tuple[Cluster, Communicator]:
-    """An EXTOLL cluster plus a ring communicator whose slots fit ``size``-
-    byte payloads.  ``reliable`` arms the retransmission engines of
+    """An EXTOLL cluster plus a communicator whose slots fit ``size``-byte
+    payloads.  ``reliable`` arms the retransmission engines of
     :mod:`repro.faults` on every channel (required to survive an attached
-    :class:`~repro.faults.FaultPlan`)."""
+    :class:`~repro.faults.FaultPlan`); ``connectivity="full"`` wires every
+    rank pair instead of the ring edges."""
     if size < 8 or size % 8:
         raise BenchmarkError(
             f"collective payload size must be a positive multiple of 8, "
@@ -100,7 +102,8 @@ def build_communicator(num_nodes: int, size: int,
     slot_size = max(64, _round8(size) + 8)
     comm = Communicator(cluster, mode, slot_size=slot_size, slots=slots,
                         reliable=reliable,
-                        reliability_config=reliability_config)
+                        reliability_config=reliability_config,
+                        connectivity=connectivity)
     return cluster, comm
 
 

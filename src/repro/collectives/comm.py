@@ -74,17 +74,30 @@ def collective_mode(name: str) -> CollectiveMode:
 
 
 class Communicator:
-    """N ranks (one per cluster node) wired with ring channels."""
+    """N ranks (one per cluster node) wired with ring or all-pairs channels.
+
+    ``connectivity="ring"`` (the default) lays one channel per ring edge —
+    all the ring collectives need.  ``connectivity="full"`` wires every
+    pair of ranks (the same all-pairs layout :class:`repro.mpi`'s
+    communicator uses), which the service workloads' all-to-all and fan-in
+    patterns require; ring algorithms run unchanged on top of it.
+    """
 
     def __init__(self, cluster: Cluster,
                  mode: CollectiveMode = CollectiveMode.POLL_ON_GPU,
                  slot_size: int = 256, slots: int = 16,
-                 reliable: bool = False, reliability_config=None) -> None:
+                 reliable: bool = False, reliability_config=None,
+                 connectivity: str = "ring") -> None:
         self.cluster = cluster
         self.mode = mode
         self.size = len(cluster)
         if self.size < 2:
             raise BenchmarkError("a communicator needs at least 2 ranks")
+        if connectivity not in ("ring", "full"):
+            raise BenchmarkError(
+                f"unknown connectivity {connectivity!r} "
+                f"(choose from: ring, full)")
+        self.connectivity = connectivity
         self.slot_size = slot_size
         self.reliable = reliable
         self._channels: Dict[Tuple[int, int], Channel] = {}
@@ -96,7 +109,10 @@ class Communicator:
                         else NotifyFlags.COMPLETER)
         # Two nodes share ONE bidirectional channel (a 2-ring would lay a
         # duplicate channel over the same pair).
-        if self.size == 2:
+        if connectivity == "full":
+            edges = [(i, j) for i in range(self.size)
+                     for j in range(i + 1, self.size)]
+        elif self.size == 2:
             edges = [(0, 1)]
         else:
             edges = [(k, (k + 1) % self.size) for k in range(self.size)]
@@ -160,7 +176,8 @@ class Communicator:
             raise BenchmarkError(
                 f"ranks {a} and {b} are not ring neighbors "
                 f"(size {self.size}); ring collectives only wire "
-                f"rank k <-> k+1") from None
+                f"rank k <-> k+1 (build with connectivity='full' for "
+                f"all-pairs traffic)") from None
 
     def launch(self, body, *extra) -> List:
         """Start ``body(ctx, rank_comm, *extra)`` on every rank — as a

@@ -215,15 +215,17 @@ def create_channel(cluster: Cluster, slot_size: int = 256,
 
 # --- device-side API --------------------------------------------------------------
 
-def gpu_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes,
-             flags: NotifyFlags = NotifyFlags.NONE):
-    """Send one message (device code, sender side).
+def gpu_stage_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes,
+                   flags: NotifyFlags = NotifyFlags.NONE):
+    """Credit-gate and stage one message (device code, sender side) WITHOUT
+    posting it.
 
-    Blocks (spinning on the local credit word, an L2 hit) while the remote
-    ring is full; then stages payload+header and posts a single put covering
-    the whole slot.  ``flags`` optionally requests requester/completer
-    notifications for the put (the collectives' ``dev2dev-direct`` variant);
-    the default keeps the §VI design of no notifications at all.
+    Spins on the local credit word (an L2 hit) while the remote ring is
+    full, stages payload + header into the message's staging slot, and
+    returns the put work request covering the whole slot.  Callers pick the
+    control path that posts it — the classic wide post (:func:`gpu_send`)
+    or the offload engine's batched doorbell — and must call
+    :func:`gpu_finish_send` once the post is issued.
     """
     if len(data) > end.payload_capacity:
         raise BenchmarkError(
@@ -247,15 +249,35 @@ def gpu_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes,
     header = (seq << _SEQ_SHIFT) | len(data)
     yield from ctx.store_u64(stage_base + end.slot_size - _HEADER_BYTES,
                              header)
-    wr = RmaWorkRequest(
+    return RmaWorkRequest(
         op=RmaOp.PUT, port=end.port_id, dst_node=end.dst_node_id,
         src_nla=end.staging_nla.base + end.slot_offset(seq),
         dst_nla=end.ring_nla.base + end.slot_offset(seq),
         size=end.slot_size, flags=flags)
-    yield from gpu_rma_post_wide(ctx, end.page_addr, wr)
+
+
+def gpu_finish_send(end: ChannelEnd) -> None:
+    """Advance the sender's sequence after a staged message was posted
+    (and let the reliability engine, when armed, start tracking it)."""
+    seq = end.next_seq
     end.next_seq += 1
     if end.reliability is not None:
         end.reliability.note_send(seq)
+
+
+def gpu_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes,
+             flags: NotifyFlags = NotifyFlags.NONE):
+    """Send one message (device code, sender side).
+
+    Blocks (spinning on the local credit word, an L2 hit) while the remote
+    ring is full; then stages payload+header and posts a single put covering
+    the whole slot.  ``flags`` optionally requests requester/completer
+    notifications for the put (the collectives' ``dev2dev-direct`` variant);
+    the default keeps the §VI design of no notifications at all.
+    """
+    wr = yield from gpu_stage_send(ctx, end, data, flags)
+    yield from gpu_rma_post_wide(ctx, end.page_addr, wr)
+    gpu_finish_send(end)
 
 
 def gpu_recv(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd):

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..collectives.algorithms import _pack, _unpack
+from ..collectives.algorithms import REDUCE_OPS, _pack, _unpack
 from ..errors import MpiError
 from .comm import MpiCommunicator, MpiRank
 from .request import MpiRequest
@@ -115,16 +115,22 @@ def ibcast(comm: MpiCommunicator, rank: MpiRank,
 
 
 def iallreduce(comm: MpiCommunicator, rank: MpiRank,
-               values: List[float]) -> MpiRequest:
-    """Ring all-reduce (sum) of a float64 vector; ``req.data`` holds the
-    packed result (``struct '<{n}d'``, same as PR 2's collectives).
+               values: List[float], op: str = "sum") -> MpiRequest:
+    """Ring all-reduce of a float64 vector; ``req.data`` holds the packed
+    result (``struct '<{n}d'``, same as PR 2's collectives).
 
     The schedule is ``ring_all_reduce``'s, verbatim: a reduce-scatter pass
-    then an all-gather pass, ``2*(N-1)`` steps, with the reduction applied
-    in the identical ``owned + incoming`` association order — which is what
-    makes the result bit-exact against the PR 2 baseline.
+    then an all-gather pass, ``2*(N-1)`` steps, with the reduction (any
+    ``op`` from :data:`~repro.collectives.algorithms.REDUCE_OPS` —
+    ``sum``/``max``/``min``/``prod``) applied in the identical
+    ``op(owned, incoming)`` association order — which is what makes the
+    result bit-exact against the PR 2 path for every op.
     """
     n = rank.size
+    if op not in REDUCE_OPS:
+        raise MpiError(f"unknown reduction op {op!r} (choose from: "
+                       f"{', '.join(sorted(REDUCE_OPS))})")
+    combine = REDUCE_OPS[op]
     if not values or len(values) % n:
         raise MpiError(
             f"all-reduce vector length {len(values)} must be a positive "
@@ -150,8 +156,8 @@ def iallreduce(comm: MpiCommunicator, rank: MpiRank,
                                     tag=tag))
             incoming = _unpack((yield rank.irecv(source=rank.prev,
                                                  tag=tag)))
-            yield 2 * chunk_len * per_instr     # fused add of one chunk
-            chunks[recv_idx] = [a + b
+            yield 2 * chunk_len * per_instr     # fused combine of one chunk
+            chunks[recv_idx] = [combine(a, b)
                                 for a, b in zip(chunks[recv_idx], incoming)]
         for s in range(n - 1):
             send_idx = (rank.rank + 1 - s) % n

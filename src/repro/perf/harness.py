@@ -84,6 +84,12 @@ class ScenarioResult:
     metrics: Dict[str, Metric] = field(default_factory=dict)
     invariants: Dict[str, bool] = field(default_factory=dict)
     notes: Dict[str, str] = field(default_factory=dict)  # invariant details
+    #: Documentary JSON (curves, sweeps) carried into the baseline file
+    #: under ``"extra"``.  ``check`` only compares ``metrics`` and
+    #: ``invariants``, so extra payloads never gate — they exist so a
+    #: committed baseline doubles as a data artifact (e.g. the offered-load
+    #: vs achieved-throughput saturation curve behind a knee metric).
+    extra: Dict[str, object] = field(default_factory=dict)
 
     def metric(self, name: str, value: float, kind: str = "sim",
                unit: str = "", tol: Optional[float] = None) -> None:
@@ -134,6 +140,8 @@ def record(scenario: Scenario, root: str,
         "metrics": {k: m.to_dict() for k, m in sorted(result.metrics.items())},
         "invariants": dict(sorted(result.invariants.items())),
     }
+    if result.extra:
+        doc["extra"] = result.extra
     path = baseline_path(scenario, root)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=False)

@@ -375,6 +375,74 @@ def sim_throughput() -> ScenarioResult:
     return res
 
 
+# -- service-scale workloads ------------------------------------------------------
+
+#: Offered-load grid the workload scenarios sweep (fractions of the
+#: closed-loop service rate) — small on purpose: three points bracket the
+#: knee without turning a bench run into a campaign.
+_WORKLOAD_FRACTIONS = (0.5, 0.9, 1.2)
+_WORKLOAD_REQUESTS = 16
+
+
+def _workload_scenario(workload: str, modes) -> ScenarioResult:
+    from ..workloads import saturation_sweep
+
+    res = ScenarioResult()
+    sweeps = {}
+    for mode in modes:
+        sweep = saturation_sweep(workload, mode, nodes=4, size=256,
+                                 requests=_WORKLOAD_REQUESTS,
+                                 fractions=_WORKLOAD_FRACTIONS, seed=7)
+        sweeps[mode] = sweep
+        res.metric(f"{mode}/closed_p99_us", sweep.closed.p99 * 1e6,
+                   unit="us")
+        res.metric(f"{mode}/service_rate_per_s", sweep.base_rate, unit="/s")
+        res.metric(f"{mode}/knee_per_s", sweep.knee, unit="/s")
+        near = sweep.points[1]      # the 0.9x point
+        res.metric(f"{mode}/open0.9_p99_us", near.p99 * 1e6, unit="us")
+        res.metric(f"{mode}/open0.9_achieved_per_s", near.achieved,
+                   unit="/s")
+        res.invariant(f"{mode}/results-exact",
+                      (sweep.closed.verified, "every rank's result exact "
+                                              "vs host-side expectation"))
+        res.invariant(f"{mode}/open-p99-above-closed", inv.at_most(
+            sweep.closed.p99, near.p99, "closed-loop p99",
+            "open-loop p99 at 0.9x saturation"))
+        res.invariant(f"{mode}/keeps-up-below-knee",
+                      (sweep.points[0].efficiency >= 0.95,
+                       f"efficiency {sweep.points[0].efficiency:.3f} at "
+                       f"0.5x saturation"))
+        res.invariant(f"{mode}/saturates-past-service-rate",
+                      (sweep.points[-1].efficiency < 1.0,
+                       f"efficiency {sweep.points[-1].efficiency:.3f} at "
+                       f"1.2x saturation"))
+    # The committed baseline doubles as the saturation-curve artifact:
+    # offered vs achieved per point, knee per mode.
+    res.extra["saturation"] = {m: s.as_dict() for m, s in sweeps.items()}
+    return res
+
+
+@_register("workload-trainstep",
+           "Data-parallel training step (ring all-reduce + overlap) under "
+           "open-loop load: knee + tail vs control mode", quick=False)
+def workload_trainstep() -> ScenarioResult:
+    return _workload_scenario("trainstep", ("hostControlled", "engine"))
+
+
+@_register("workload-moe",
+           "MoE all-to-all dispatch/combine under open-loop load: knee + "
+           "tail vs control mode", quick=False)
+def workload_moe() -> ScenarioResult:
+    return _workload_scenario("moe", ("hostControlled", "engine"))
+
+
+@_register("workload-kvcache",
+           "KV-cache prefill->decode handover under open-loop load: knee "
+           "+ tail vs control mode", quick=False)
+def workload_kvcache() -> ScenarioResult:
+    return _workload_scenario("kvcache", ("hostControlled", "mpi"))
+
+
 # -- MPI-shaped layer (triggered operations) -------------------------------------
 
 @_register("mpi-latency",

@@ -82,6 +82,15 @@ class TelemetryPlane:
         for rank in comm.ranks:
             self.watch_stats(f"mpi.rank{rank.rank}.match", rank.matcher)
 
+    def watch_workloads(self, run) -> None:
+        """The traffic generator's request accounting (→ ``workload.*``
+        series; ``queue_depth`` and ``inflight`` as gauges) plus, for the
+        engine control mode, the posting path's doorbell counters."""
+        self.watch_stats("workload", run.stats)
+        if getattr(run.transport, "engine_stats", None) is not None \
+                and run.transport.mode == "engine":
+            self.watch_stats("workload.engine", run.transport.engine_stats)
+
     def watch_fabric(self, fabric, bandwidth: Optional[float] = None) -> None:
         """Per-link wire-byte counters (→ ``link.{a}-{b}.bytes`` series);
         with ``bandwidth`` also a ``link.{a}-{b}.util`` gauge in [0, 1]."""

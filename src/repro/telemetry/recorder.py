@@ -48,7 +48,7 @@ DEFAULT_TRIGGERS = ("retry-exhausted",)
 #: ``categories=None`` for a full-fidelity recorder.
 DEFAULT_CATEGORIES = ("bench", "collective", "fault", "gpu.block",
                       "gpu.kernel", "ib", "ib.api", "mpi", "net", "phase",
-                      "rel", "rma", "rma.api", "trig")
+                      "rel", "rma", "rma.api", "trig", "workload")
 
 
 class FlightRecorder(SpanTracer):

@@ -1,0 +1,305 @@
+"""The application workload suite: ML communication patterns as requests.
+
+Each workload describes ONE service request as a set of per-rank *op
+scripts* — plain generators over a three-word vocabulary:
+
+* ``("send", peer, data)`` — hand ``data`` to ``peer`` (completes per the
+  control mode's local-completion semantics),
+* ``("recv", peer)`` — block for the next message from ``peer``; the
+  payload comes back as the yield value,
+* ``("compute", instructions)`` — charge local arithmetic.
+
+The scripts never touch a channel, a work request, or an MPI request:
+:mod:`repro.workloads.transport` interprets the same script under every
+control mode (hostControlled / dev2dev-direct / engine / triggered-MPI),
+which is what makes the four-mode sweep a single implementation.  All
+payloads are deterministic functions of ``(request, src rank, peer)``, so
+every mode's result is verified exactly and replays bit-identically.
+
+The four patterns are the ones the *GPU-centric Communication Schemes*
+survey (arXiv:2503.24230) names as the service-scale stressors:
+
+* ``trainstep`` — data-parallel training step: exposed (non-overlapped)
+  gradient compute followed by a ring all-reduce, PR 2's exact schedule.
+* ``moe``       — mixture-of-experts all-to-all: token dispatch to every
+  peer, expert compute, combine back along the reverse paths.
+* ``kvcache``   — prefill→decode KV-cache handover: large asymmetric
+  chunked puts one way, one tiny ack back.
+* ``psfanin``   — parameter-server fan-in: every worker pushes gradients
+  to rank 0, which reduces in fixed order and fans the update back out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List
+
+from ..collectives.algorithms import REDUCE_OPS, _pack, _unpack
+from ..errors import BenchmarkError
+
+#: Instructions charged per reduced element (fused multiply-add idiom used
+#: by the PR 2 collectives).
+_INSTR_PER_ELEMENT = 2
+
+#: The 8-byte ack a decode node returns after absorbing a KV handover.
+_ACK = bytes(range(8))
+
+
+def payload(req: int, src: int, dst: int, nbytes: int) -> bytes:
+    """Deterministic, distinct bytes for (request, src, dst)."""
+    base = (req * 131 + src * 37 + dst * 17) % 251
+    return bytes((base + 11 * i + 5) % 251 for i in range(nbytes))
+
+
+def grad_vector(req: int, rank: int, elements: int) -> List[float]:
+    """Deterministic per-(request, rank) float64 gradient vector."""
+    return [float((req * 31 + 7 * rank + 3 * i + 1) % 97)
+            for i in range(elements)]
+
+
+def expert_transform(data: bytes) -> bytes:
+    """What an expert does to a token chunk (cheap, deterministic)."""
+    return bytes((b * 2 + 1) % 251 for b in data)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One service-request shape, runnable under every control mode."""
+
+    name: str
+    description: str
+    connectivity: str     # channel layout the mode transports must wire
+    min_nodes: int
+    #: (req, rank, nodes, size) -> op generator returning the rank's result
+    script: Callable[[int, int, int, int], Generator]
+    #: (req, rank, nodes, size, result) -> bool — exact host-side check
+    verify: Callable[[int, int, int, int, object], bool]
+    #: (nodes, size) -> payload bytes one request moves across all ranks
+    request_bytes: Callable[[int, int], int]
+    knobs: Dict[str, float] = field(default_factory=dict)
+
+
+# =============================================================================
+# trainstep — all-reduce dominated, compute/comm overlap knob
+# =============================================================================
+
+def _allreduce_ops(req: int, rank: int, nodes: int, size: int,
+                   op: str = "sum"):
+    """PR 2's ring all-reduce schedule in op-vocabulary form: identical
+    chunking, identical ``op(owned, incoming)`` association order."""
+    combine = REDUCE_OPS[op]
+    values = grad_vector(req, rank, nodes * (size // 8))
+    chunk_len = len(values) // nodes
+    chunks = [list(values[i * chunk_len:(i + 1) * chunk_len])
+              for i in range(nodes)]
+    nxt, prv = (rank + 1) % nodes, (rank - 1) % nodes
+    for s in range(nodes - 1):
+        send_idx = (rank - s) % nodes
+        recv_idx = (rank - s - 1) % nodes
+        yield ("send", nxt, _pack(chunks[send_idx]))
+        incoming = _unpack((yield ("recv", prv)))
+        yield ("compute", _INSTR_PER_ELEMENT * chunk_len)
+        chunks[recv_idx] = [combine(a, b)
+                            for a, b in zip(chunks[recv_idx], incoming)]
+    for s in range(nodes - 1):
+        send_idx = (rank + 1 - s) % nodes
+        recv_idx = (rank - s) % nodes
+        yield ("send", nxt, _pack(chunks[send_idx]))
+        chunks[recv_idx] = _unpack((yield ("recv", prv)))
+    return [v for chunk in chunks for v in chunk]
+
+
+def _trainstep(compute_instr: int, overlap: float) -> Workload:
+    exposed = int(compute_instr * (1.0 - overlap))
+
+    def script(req: int, rank: int, nodes: int, size: int):
+        # The overlap knob hides that fraction of the backward-pass compute
+        # behind the collective; only the exposed remainder serializes in
+        # front of it.
+        if exposed:
+            yield ("compute", exposed)
+        result = yield from _allreduce_ops(req, rank, nodes, size)
+        return result
+
+    def verify(req: int, rank: int, nodes: int, size: int,
+               result: object) -> bool:
+        vectors = [grad_vector(req, r, nodes * (size // 8))
+                   for r in range(nodes)]
+        expected = [sum(col) for col in zip(*vectors)]
+        return (isinstance(result, list) and len(result) == len(expected)
+                and all(abs(a - b) <= 1e-9
+                        for a, b in zip(result, expected)))
+
+    return Workload(
+        name="trainstep",
+        description="data-parallel training step: exposed compute + ring "
+                    "all-reduce of the gradient vector",
+        connectivity="ring", min_nodes=2, script=script, verify=verify,
+        request_bytes=lambda nodes, size: 2 * (nodes - 1) * nodes * size,
+        knobs={"compute_instr": compute_instr, "overlap": overlap})
+
+
+# =============================================================================
+# moe — all-to-all dispatch/combine
+# =============================================================================
+
+def _moe(expert_instr: int) -> Workload:
+    def script(req: int, rank: int, nodes: int, size: int):
+        peers = [p for p in range(nodes) if p != rank]
+        # Dispatch: route this rank's token chunks to every expert.  Sends
+        # are slot-buffered, so send-all-then-recv-all never deadlocks.
+        for p in peers:
+            yield ("send", p, payload(req, rank, p, size))
+        inbox = {}
+        for p in peers:
+            inbox[p] = yield ("recv", p)
+        # Expert FFN over every received chunk.
+        yield ("compute", expert_instr * len(peers))
+        # Combine: processed tokens travel the reverse paths.
+        for p in peers:
+            yield ("send", p, expert_transform(inbox[p]))
+        combined = {}
+        for p in peers:
+            combined[p] = yield ("recv", p)
+        return combined
+
+    def verify(req: int, rank: int, nodes: int, size: int,
+               result: object) -> bool:
+        if not isinstance(result, dict):
+            return False
+        peers = [p for p in range(nodes) if p != rank]
+        return (sorted(result) == peers
+                and all(result[p] == expert_transform(
+                            payload(req, rank, p, size))
+                        for p in peers))
+
+    return Workload(
+        name="moe",
+        description="MoE all-to-all: token dispatch to every expert, "
+                    "expert compute, combine along the reverse paths",
+        connectivity="full", min_nodes=2, script=script, verify=verify,
+        request_bytes=lambda nodes, size: 2 * nodes * (nodes - 1) * size,
+        knobs={"expert_instr": expert_instr})
+
+
+# =============================================================================
+# kvcache — prefill -> decode handover, large asymmetric puts
+# =============================================================================
+
+def _kvcache(kv_chunks: int, append_instr: int) -> Workload:
+    def script(req: int, rank: int, nodes: int, size: int):
+        pairs = nodes // 2
+        if rank >= 2 * pairs:       # odd node out: no pair, no traffic
+            return None
+        if rank < pairs:            # prefill side: stream the cache over
+            peer = rank + pairs
+            for c in range(kv_chunks):
+                yield ("send", peer, payload(req + c, rank, peer, size))
+            ack = yield ("recv", peer)
+            return ack
+        peer = rank - pairs         # decode side: absorb, append, ack
+        chunks = []
+        for _c in range(kv_chunks):
+            chunks.append((yield ("recv", peer)))
+            yield ("compute", append_instr)
+        yield ("send", peer, _ACK)
+        return chunks
+
+    def verify(req: int, rank: int, nodes: int, size: int,
+               result: object) -> bool:
+        pairs = nodes // 2
+        if rank >= 2 * pairs:
+            return result is None
+        if rank < pairs:
+            return result == _ACK
+        peer = rank - pairs
+        expected = [payload(req + c, peer, rank, size)
+                    for c in range(kv_chunks)]
+        return result == expected
+
+    return Workload(
+        name="kvcache",
+        description="KV-cache transfer prefill->decode: chunked large puts "
+                    "one way, an 8-byte ack back",
+        connectivity="full", min_nodes=2, script=script, verify=verify,
+        request_bytes=lambda nodes, size:
+            (nodes // 2) * (kv_chunks * size + len(_ACK)),
+        knobs={"kv_chunks": kv_chunks, "append_instr": append_instr})
+
+
+# =============================================================================
+# psfanin — parameter-server fan-in / fan-out
+# =============================================================================
+
+def _psfanin(reduce_instr_per_el: int) -> Workload:
+    def script(req: int, rank: int, nodes: int, size: int):
+        elements = size // 8
+        if rank == 0:               # the server: gather, reduce, fan out
+            total = [0.0] * elements
+            for w in range(1, nodes):
+                grads = _unpack((yield ("recv", w)))
+                yield ("compute", reduce_instr_per_el * elements)
+                total = [a + b for a, b in zip(total, grads)]
+            update = _pack(total)
+            for w in range(1, nodes):
+                yield ("send", w, update)
+            return total
+        yield ("send", 0, _pack(grad_vector(req, rank, elements)))
+        update = yield ("recv", 0)
+        return _unpack(update)
+
+    def verify(req: int, rank: int, nodes: int, size: int,
+               result: object) -> bool:
+        elements = size // 8
+        total = [0.0] * elements
+        # Same fixed worker order as the server: float sums are bit-exact.
+        for w in range(1, nodes):
+            total = [a + b
+                     for a, b in zip(total, grad_vector(req, w, elements))]
+        return result == total
+
+    return Workload(
+        name="psfanin",
+        description="parameter-server fan-in: workers push gradients to "
+                    "rank 0, which reduces in order and fans the update "
+                    "back out",
+        connectivity="full", min_nodes=2, script=script, verify=verify,
+        request_bytes=lambda nodes, size: 2 * (nodes - 1) * size,
+        knobs={"reduce_instr_per_el": reduce_instr_per_el})
+
+
+# =============================================================================
+# registry
+# =============================================================================
+
+#: The suite with its default knobs, by name.
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w for w in (
+        _trainstep(compute_instr=2000, overlap=0.5),
+        _moe(expert_instr=400),
+        _kvcache(kv_chunks=4, append_instr=100),
+        _psfanin(reduce_instr_per_el=2),
+    )
+}
+
+
+def get_workload(name: str, **knobs) -> Workload:
+    """Resolve a workload by name; knob overrides rebuild it."""
+    if name not in WORKLOADS:
+        raise BenchmarkError(f"unknown workload {name!r} (choose from: "
+                             f"{', '.join(sorted(WORKLOADS))})")
+    if not knobs:
+        return WORKLOADS[name]
+    builders = {
+        "trainstep": lambda: _trainstep(
+            compute_instr=int(knobs.get("compute_instr", 2000)),
+            overlap=float(knobs.get("overlap", 0.5))),
+        "moe": lambda: _moe(expert_instr=int(knobs.get("expert_instr",
+                                                       400))),
+        "kvcache": lambda: _kvcache(
+            kv_chunks=int(knobs.get("kv_chunks", 4)),
+            append_instr=int(knobs.get("append_instr", 100))),
+        "psfanin": lambda: _psfanin(
+            reduce_instr_per_el=int(knobs.get("reduce_instr_per_el", 2))),
+    }
+    return builders[name]()

@@ -1,0 +1,247 @@
+"""Control-mode transports: run one op script under each put/get variant.
+
+A :class:`WorkloadTransport` wires a cluster for one workload's
+connectivity once, then executes requests on demand.  Four control modes
+interpret the same script:
+
+* ``hostControlled``   — host threads drive the NIC (§III-B librma API),
+* ``dev2dev-direct``   — device threads post notified puts and poll the
+  notification queues in host memory (§III-C),
+* ``engine``           — device threads stage msglib sends and post them
+  through the offload engine's batched doorbell (PR 5's warp-parallel
+  descriptor path over PR 1's slot rings),
+* ``mpi``              — the triggered-MPI layer (PR 7): tagged
+  isend/irecv over counter-fired descriptor chains, the CPU-free path.
+
+The first three ride PR 2's :class:`~repro.collectives.comm.Communicator`
+(the engine mode reuses its ``pollOnGPU`` channel wiring and replaces only
+the posting path).  Requests are launched *asynchronously* — completion
+arrives via callback — which is what lets the open-loop generator keep
+issuing on the arrival clock instead of the completion clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..cluster import Cluster
+from ..collectives.comm import CollectiveMode, Communicator
+from ..core.msglib import gpu_finish_send, gpu_stage_send
+from ..engine import DEFAULT_LANES, EngineStats, engine_post_batch
+from ..errors import BenchmarkError
+from ..mpi.collectives import _pump
+from ..mpi.comm import MpiCommunicator, MpiConfig
+from ..mpi.envelope import ENVELOPE_BYTES
+from ..mpi.request import MpiRequest
+from .apps import Workload
+
+#: Control modes the workloads sweep, in report order.
+MODES = ("hostControlled", "dev2dev-direct", "engine", "mpi")
+
+#: Channel-communicator mode behind each non-MPI workload mode.  The
+#: engine transport uses the pollOnGPU wiring (header spinning, no
+#: notifications) and swaps only how the put descriptor reaches the NIC.
+_CHANNEL_MODES = {
+    "hostControlled": CollectiveMode.HOST_CONTROLLED,
+    "dev2dev-direct": CollectiveMode.DIRECT,
+    "engine": CollectiveMode.POLL_ON_GPU,
+}
+
+#: MPI user tags live below the collective band (1 << 15); one tag per
+#: in-flight request keeps concurrent rounds' envelopes apart.
+_TAG_SPAN = 1 << 12
+
+
+def _round8(n: int) -> int:
+    return (n + 7) // 8 * 8
+
+
+class WorkloadTransport:
+    """One (cluster, workload, control mode) execution engine."""
+
+    def __init__(self, cluster: Cluster, workload: Workload, mode: str,
+                 size: int, slots: int = 16, reliable: bool = False,
+                 reliability_config=None,
+                 lanes: int = DEFAULT_LANES) -> None:
+        if mode not in MODES:
+            raise BenchmarkError(f"unknown workload mode {mode!r} "
+                                 f"(choose from: {', '.join(MODES)})")
+        if size < 8 or size % 8:
+            raise BenchmarkError(
+                f"workload message size must be a positive multiple of 8, "
+                f"got {size}")
+        if len(cluster) < workload.min_nodes:
+            raise BenchmarkError(
+                f"workload {workload.name!r} needs at least "
+                f"{workload.min_nodes} nodes, cluster has {len(cluster)}")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.workload = workload
+        self.mode = mode
+        self.size = size
+        self.nodes = len(cluster)
+        self.lanes = lanes
+        self.engine_stats = EngineStats()   # populated by the engine mode
+        self._requests_launched = 0
+        if mode == "mpi":
+            mcfg = MpiConfig(connectivity=workload.connectivity,
+                             slots=slots)
+            if reliable and size > mcfg.eager_threshold:
+                # Rendezvous payloads travel as ONE raw put outside the
+                # slot rings, so the channel retransmission engines never
+                # see them — under injected loss they would vanish.  Widen
+                # the eager threshold so every workload message rides the
+                # reliable rings.
+                mcfg = MpiConfig(
+                    connectivity=workload.connectivity, slots=slots,
+                    eager_threshold=size,
+                    slot_size=_round8(size + ENVELOPE_BYTES) + 8)
+            self.comm: Optional[Communicator] = None
+            self.mpi: Optional[MpiCommunicator] = MpiCommunicator(
+                cluster, mcfg,
+                reliable=reliable, reliability_config=reliability_config)
+        else:
+            self.mpi = None
+            self.comm = Communicator(
+                cluster, _CHANNEL_MODES[mode],
+                slot_size=max(64, _round8(size) + 8), slots=slots,
+                reliable=reliable, reliability_config=reliability_config,
+                connectivity=workload.connectivity)
+
+    # -- async request execution --------------------------------------------------
+
+    def start_request(self, req: int,
+                      on_done: Callable[[Dict[int, object]], None]) -> None:
+        """Launch request ``req`` on every rank; ``on_done(results)`` fires
+        at the simulated instant the LAST rank finishes."""
+        self._requests_launched += 1
+        results: Dict[int, object] = {}
+        if self.mpi is not None:
+            self._start_mpi(req, results, on_done)
+        else:
+            self._start_channels(req, results, on_done)
+
+    def check_errors(self) -> None:
+        """Surface sticky async/reliability errors after a run."""
+        if self.mpi is not None:
+            self.mpi.check_async_errors()
+        else:
+            self.comm.check_reliability_errors()
+
+    # -- channel modes (hostControlled / direct / engine) -------------------------
+
+    def _start_channels(self, req: int, results: Dict[int, object],
+                        on_done: Callable) -> None:
+        engine = self.mode == "engine"
+
+        def body(ctx, rc):
+            gen = self.workload.script(req, rc.rank, self.nodes, self.size)
+            results[rc.rank] = yield from self._interpret(ctx, rc, gen,
+                                                          engine)
+
+        handles = self.comm.launch(body)
+        remaining = [len(handles)]
+
+        def one_done(_ev) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                on_done(results)
+
+        for handle in handles:
+            handle.add_callback(one_done)
+
+    def _interpret(self, ctx, rc, gen, engine: bool):
+        """Drive one rank's op script over RankComm primitives."""
+        value = None
+        while True:
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            kind = op[0]
+            if kind == "send":
+                if engine:
+                    yield from self._engine_send(ctx, rc, op[1], op[2])
+                else:
+                    yield from rc.send(ctx, op[1], op[2])
+                value = None
+            elif kind == "recv":
+                value = yield from rc.recv(ctx, op[1])
+            elif kind == "compute":
+                yield from rc.compute(ctx, op[1])
+                value = None
+            else:
+                raise BenchmarkError(f"unknown workload op {kind!r}")
+
+    def _engine_send(self, ctx, rc, peer: int, data: bytes):
+        """msglib send with the offload engine posting the put: stage the
+        slot, then one warp-parallel descriptor batch + count doorbell."""
+        end = rc.send_end(peer)
+        ncfg = rc.node.nic.config
+        wr = yield from gpu_stage_send(ctx, end, data)
+        yield from engine_post_batch(ctx, end.page_addr,
+                                     ncfg.batch_region_offset,
+                                     ncfg.batch_doorbell_offset, [wr],
+                                     self.lanes)
+        gpu_finish_send(end)
+        stats = self.engine_stats
+        stats.messages += 1
+        stats.wrs += 1
+        stats.doorbells += 1
+        stats.batches += 1
+
+    # -- triggered-MPI mode -------------------------------------------------------
+
+    def _start_mpi(self, req: int, results: Dict[int, object],
+                   on_done: Callable) -> None:
+        remaining = [self.mpi.size]
+        tag = req % _TAG_SPAN
+
+        def one_done(rank: int, mreq: MpiRequest) -> None:
+            results[rank] = mreq.data
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                on_done(results)
+
+        for rank in self.mpi.ranks:
+            mreq = MpiRequest(self.sim, "workload", rank.rank)
+            mreq.done.add_callback(
+                lambda _ev, r=rank.rank, q=mreq: one_done(r, q))
+            gen = self.workload.script(req, rank.rank, self.nodes, self.size)
+            _pump(self.mpi, self._mpi_adapter(rank, gen, tag), mreq)
+
+    def _mpi_adapter(self, rank, gen, tag: int):
+        """Translate op words into the MPI layer's pump vocabulary
+        (MpiRequest yields and float compute charges).
+
+        Sends are posted without waiting and drained at script end —
+        rendezvous sends only complete once the peer's matching receive
+        produces the CTS, so awaiting them inline would deadlock symmetric
+        exchange patterns (the same discipline as the MPI collectives).
+        """
+        per_instr = rank.node.gpu.config.instruction_time
+        sends: List[MpiRequest] = []
+        value = None
+        while True:
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            kind = op[0]
+            if kind == "send":
+                sends.append(rank.isend(op[1], op[2], tag=tag))
+                value = None
+            elif kind == "recv":
+                value = yield rank.irecv(source=op[1], tag=tag)
+            elif kind == "compute":
+                yield op[1] * per_instr
+                value = None
+            else:
+                raise BenchmarkError(f"unknown workload op {op[0]!r}")
+        for sreq in sends:
+            yield sreq
+        return result
+
+
+__all__ = ["MODES", "WorkloadTransport"]
