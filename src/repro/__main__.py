@@ -67,6 +67,11 @@ def _workloads(argv: List[str]) -> int:
     return main(argv)
 
 
+def _critpath(argv: List[str]) -> int:
+    from .causal.cli import main
+    return main(argv)
+
+
 #: name -> (loader, one-line description).  Loaders import lazily so
 #: ``python -m repro bench`` never pays for the telemetry stack and vice
 #: versa.
@@ -84,6 +89,8 @@ COMMANDS: Dict[str, Tuple[Callable[[List[str]], int], str]] = {
     "mpi": (_mpi, "tagged ping-pong + triggered iallreduce ablation"),
     "workloads": (_workloads, "open-loop service traffic: app workloads "
                               "x control modes, p50/p99/p999 vs SLOs"),
+    "critpath": (_critpath, "causal critical paths per request: exact "
+                            "blame, stragglers, 0% reconciliation"),
 }
 
 

@@ -1,0 +1,108 @@
+"""The causal event vocabulary and the blame-category mapping.
+
+Event kinds, in the order one message traverses them::
+
+    snd   app decided to send                      (rank actor  n{src})
+    crd   credit gate passed   [gated, waited_on]  (rank actor)
+    stg   slot/descriptor staged    [via=host?]    (rank actor)
+    pst   descriptor reached the NIC [via=mmio|host|engine|chain]
+    txr   requester read the payload (DMA done)    (NIC actor {nic}.rma)
+    txd   packet injected into the wire            (NIC actor)
+    rxs   completer picked the packet up           (dst NIC actor)
+    dlv   payload DMA-written at the destination   (dst NIC actor)
+    rcd   receiver drained the message [via=poll|notif]  (rank actor n{dst})
+    mrx   MPI progress engine drained an envelope  (rank actor n{dst})
+
+plus the app-level brackets ``snd.done`` / ``rcv`` / ``cmp`` /
+``rank.begin`` / ``rank.end`` (rank actors), ``req.begin`` / ``req.end``
+(the ``driver`` actor), and the triggered-unit lifecycle ``chain.fire`` /
+``chain.done`` (``{nic}.trig`` actors).
+
+Blame categories reuse PR 4's six-phase vocabulary —
+``wqe-generation`` / ``host-assist`` / ``doorbell-mmio`` / ``wire`` /
+``data-dma`` / ``completion-mmio`` / ``completion-polling`` — extended
+with ``compute`` and ``app`` for the segments the transport does not own,
+and ``blocked-on-credit`` for segments spent waiting on flow-control
+(gated credit spins, chains armed on credit counters).
+``blocked-on-remote`` is an *edge* classification (a receiver-side event
+whose critical predecessor is a remote delivery), reported as wait time
+alongside — not inside — the category partition, because the partition
+attributes that same time to the remote side's phases.
+"""
+
+from __future__ import annotations
+
+#: Every kind an instrumented site may emit (the DAG builder warns on
+#: anything else rather than mis-walking silently).
+KNOWN_KINDS = frozenset({
+    "snd", "crd", "stg", "pst", "txr", "txd", "rxs", "dlv", "rcd", "mrx",
+    "rcv", "snd.done", "cmp", "rank.begin", "rank.end", "req.begin",
+    "req.end", "chain.fire", "chain.done",
+})
+
+#: Report order of the blame partition (PR 4's six phases first).
+CATEGORY_ORDER = ("wqe-generation", "host-assist", "doorbell-mmio",
+                  "data-dma", "wire", "completion-mmio",
+                  "completion-polling", "blocked-on-credit", "compute",
+                  "app")
+
+#: Edge classifications a critical-path segment can carry.
+EDGE_KINDS = ("local", "flow", "blocked-on-remote", "blocked-on-credit")
+
+
+def categorize(pred, ev) -> str:
+    """Blame category of the critical-path segment ``pred -> ev``.
+
+    The category keys off the *destination* event: the interval ending at
+    ``ev`` is the time the stack spent producing ``ev``.
+    """
+    kind = ev.kind
+    via = ev.attrs.get("via")
+    if kind == "crd":
+        return "blocked-on-credit" if ev.attrs.get("gated") \
+            else "wqe-generation"
+    if kind == "stg":
+        return "host-assist" if via == "host" else "wqe-generation"
+    if kind == "pst":
+        if via == "host":
+            return "host-assist"
+        if via == "chain":
+            # Time from staging to a chain-fired post is dominated by the
+            # arming counter's wait; when the chain was armed on a credit
+            # counter (wait_hint names the credit word) that wait IS the
+            # credit wait.
+            return ("blocked-on-credit" if ev.attrs.get("wait_hint")
+                    else "wqe-generation")
+        return "doorbell-mmio"           # mmio and engine batch doorbells
+    if kind == "txr":
+        return "data-dma"                # descriptor fetch + payload read
+    if kind in ("txd", "rxs"):
+        return "wire"
+    if kind == "dlv":
+        return "data-dma"                # completer write to dst memory
+    if kind in ("rcd", "mrx"):
+        return "completion-mmio" if via == "notif" else "completion-polling"
+    if kind == "snd.done":
+        return "completion-polling"
+    if kind == "cmp":
+        return "compute"
+    # snd, rcv, rank.begin/end, req.end, chain.* — application / harness.
+    return "app"
+
+
+def edge_kind(pred, ev) -> str:
+    """Classify the DAG edge ``pred -> ev`` for the waterfall report."""
+    if ev.kind in ("rcd", "mrx") and pred.kind == "dlv":
+        return "blocked-on-remote"       # cross-node join: rank waited
+    if ev.kind == "crd" and ev.attrs.get("gated"):
+        return "blocked-on-credit"
+    if ev.kind == "pst" and ev.attrs.get("via") == "chain" \
+            and ev.attrs.get("wait_hint"):
+        return "blocked-on-credit"
+    if pred.actor == ev.actor:
+        return "local"
+    return "flow"
+
+
+__all__ = ["CATEGORY_ORDER", "EDGE_KINDS", "KNOWN_KINDS", "categorize",
+           "edge_kind"]

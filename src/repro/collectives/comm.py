@@ -260,6 +260,15 @@ class RankComm:
         elif self.mode is CollectiveMode.DIRECT:
             yield from gpu_send(ctx, end, data, flags=_NOTIFIED)
             yield from gpu_rma_wait_notification(ctx, self._req_cursor(peer))
+            trc = ctx.sim.tracer
+            if trc.wants("causal"):
+                # gpu_send advanced next_seq; re-derive the slot just sent.
+                seq = end.next_seq - 1
+                trc.flow_event(
+                    "snd.done", f"n{end.src_node_id}",
+                    addr=(end.dst_node_id,
+                          end.ring_nla.base + end.slot_offset(seq)),
+                    seq=seq)
         else:
             yield from self._host_send(ctx, end, peer, data)
 
@@ -270,13 +279,27 @@ class RankComm:
         if self.mode is CollectiveMode.POLL_ON_GPU:
             return (yield from gpu_recv(ctx, end, reverse))
         if self.mode is CollectiveMode.DIRECT:
+            trc = ctx.sim.tracer
+            if trc.wants("causal"):
+                # Stamp the receive at its CALL time, before the
+                # notification wait: the consume helpers run after the
+                # wait, and a late ``rcv`` would re-anchor the walk past
+                # the remote delivery, hiding the blocked-on-remote join.
+                seq = end.consumed + 1
+                trc.flow_event(
+                    "rcv", f"n{end.dst_node_id}",
+                    addr=(end.dst_node_id,
+                          end.ring_nla.base + end.slot_offset(seq)),
+                    seq=seq, via="notif")
             yield from gpu_rma_wait_notification(ctx, self._cmpl_cursor(peer))
             if self.comm.reliable:
                 # Under faults a completer notification may belong to a
                 # duplicate (replayed) put, so it no longer proves THIS
                 # message arrived — fall back to spinning on the header.
-                return (yield from gpu_recv(ctx, end, reverse))
-            return (yield from gpu_recv_ready(ctx, end, reverse))
+                return (yield from gpu_recv(ctx, end, reverse,
+                                            announce=False))
+            return (yield from gpu_recv_ready(ctx, end, reverse,
+                                              announce=False))
         return (yield from self._host_recv(ctx, end, reverse, peer))
 
     # -- hostControlled implementation --------------------------------------------
@@ -293,10 +316,21 @@ class RankComm:
                 f"message of {len(data)} bytes exceeds slot payload "
                 f"{end.payload_capacity}")
         seq = end.next_seq
-        if seq - 1 >= end.slots:
+        trc = ctx.sim.tracer
+        causal = trc.wants("causal")
+        if causal:
+            addr = (end.dst_node_id, end.ring_nla.base + end.slot_offset(seq))
+            actor = f"n{end.src_node_id}"
+            trc.flow_event("snd", actor, addr=addr, seq=seq, bytes=len(data))
+        gated = seq - 1 >= end.slots
+        if gated:
             min_credit = seq - end.slots
             yield from ctx.spin_until_u64(end.credit_word.base,
                                           lambda v, m=min_credit: v >= m)
+        if causal:
+            trc.flow_event("crd", actor, addr=addr, seq=seq, gated=gated,
+                           waited_on=(end.src_node_id,
+                                      end.credit_word_nla.base))
         stage = end.staging.base + end.slot_offset(seq)
         gpu = self.node.gpu
         padded = data + bytes(-len(data) % 8)
@@ -305,19 +339,34 @@ class RankComm:
         gpu.dram.write_u64(stage + end.slot_size - _HEADER_BYTES,
                            (seq << _SEQ_SHIFT) | len(data))
         yield from ctx.compute(4 + len(data) // 8)  # kernel producing the slot
+        if causal:
+            trc.flow_event("stg", actor, addr=addr, seq=seq, via="host",
+                           bytes=len(data))
         wr = RmaWorkRequest(
             op=RmaOp.PUT, port=end.port_id, dst_node=end.dst_node_id,
             src_nla=end.staging_nla.base + end.slot_offset(seq),
             dst_nla=end.ring_nla.base + end.slot_offset(seq),
             size=end.slot_size, flags=_NOTIFIED)
         yield from rma_post(ctx, end.page_addr, wr)
+        if causal:
+            trc.flow_event("pst", actor, addr=addr, seq=seq, via="host")
         yield from rma_wait_notification(ctx, self._req_cursor(peer))
+        if causal:
+            trc.flow_event("snd.done", actor, addr=addr, seq=seq)
         end.next_seq += 1
         if end.reliability is not None:
             end.reliability.note_send(seq)
 
     def _host_recv(self, ctx, end: ChannelEnd, reverse: ChannelEnd,
                    peer: int):
+        trc = ctx.sim.tracer
+        causal = trc.wants("causal")
+        if causal:
+            trc.flow_event(
+                "rcv", f"n{end.dst_node_id}",
+                addr=(end.dst_node_id,
+                      end.ring_nla.base + end.slot_offset(end.consumed + 1)),
+                seq=end.consumed + 1, via="notif")
         yield from rma_wait_notification(ctx, self._cmpl_cursor(peer))
         seq = end.consumed + 1
         gpu = self.node.gpu
@@ -336,6 +385,11 @@ class RankComm:
         data = bytes(gpu.dram.read(slot, length)) if length else b""
         yield from ctx.compute(4 + length // 8)  # kernel draining the slot
         end.consumed = seq
+        if causal:
+            trc.flow_event("rcd", f"n{end.dst_node_id}",
+                           addr=(end.dst_node_id,
+                                 end.ring_nla.base + end.slot_offset(seq)),
+                           seq=seq, via="notif", bytes=length)
         if (end.consumed - end.credits_returned
                 >= (end.credit_interval or max(1, end.slots // 2))):
             yield from ctx.write_u64(end.credit_staging.base, end.consumed)

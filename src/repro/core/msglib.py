@@ -232,11 +232,23 @@ def gpu_stage_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes,
             f"message of {len(data)} bytes exceeds slot payload "
             f"{end.payload_capacity}")
     seq = end.next_seq
+    trc = ctx.sim.tracer
+    causal = trc.wants("causal")
+    if causal:
+        # The slot put's address key; every later hop (NIC, receiver)
+        # recomputes the same key from its own view of the protocol state.
+        addr = (end.dst_node_id, end.ring_nla.base + end.slot_offset(seq))
+        actor = f"n{end.src_node_id}"
+        trc.flow_event("snd", actor, addr=addr, seq=seq, bytes=len(data))
     # Flow control: at most ``slots`` unacked messages in flight.
-    if seq - 1 >= end.slots:
+    gated = seq - 1 >= end.slots
+    if gated:
         min_credit = seq - end.slots
         yield from ctx.spin_until_u64(end.credit_word.base,
                                       lambda v, m=min_credit: v >= m)
+    if causal:
+        trc.flow_event("crd", actor, addr=addr, seq=seq, gated=gated,
+                       waited_on=(end.src_node_id, end.credit_word_nla.base))
     # Stage payload (padded to 8-byte words) then the header, in this
     # message's staging slot.
     stage_base = end.staging.base + end.slot_offset(seq)
@@ -249,6 +261,8 @@ def gpu_stage_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes,
     header = (seq << _SEQ_SHIFT) | len(data)
     yield from ctx.store_u64(stage_base + end.slot_size - _HEADER_BYTES,
                              header)
+    if causal:
+        trc.flow_event("stg", actor, addr=addr, seq=seq, bytes=len(data))
     return RmaWorkRequest(
         op=RmaOp.PUT, port=end.port_id, dst_node=end.dst_node_id,
         src_nla=end.staging_nla.base + end.slot_offset(seq),
@@ -277,17 +291,31 @@ def gpu_send(ctx: ThreadCtx, end: ChannelEnd, data: bytes,
     """
     wr = yield from gpu_stage_send(ctx, end, data, flags)
     yield from gpu_rma_post_wide(ctx, end.page_addr, wr)
+    trc = ctx.sim.tracer
+    if trc.wants("causal"):
+        trc.flow_event("pst", f"n{end.src_node_id}",
+                       addr=(wr.dst_node, wr.dst_nla), via="mmio")
     gpu_finish_send(end)
 
 
-def gpu_recv(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd):
+def gpu_recv(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd,
+             announce: bool = True):
     """Receive the next message (device code, receiver side).
 
     ``reverse`` is the opposite-direction end (sender side on this node),
     used to put credit returns back.  Returns the payload bytes.
+    ``announce=False`` suppresses the causal ``rcv`` breadcrumb for callers
+    that already stamped the receive at its true call time (before their
+    own wait), so the walk sees the wait and not a late re-anchor.
     """
     seq = end.consumed + 1
     slot_base = end.ring.base + end.slot_offset(seq)
+    trc = ctx.sim.tracer
+    if announce and trc.wants("causal"):
+        trc.flow_event("rcv", f"n{end.dst_node_id}",
+                       addr=(end.dst_node_id,
+                             end.ring_nla.base + end.slot_offset(seq)),
+                       seq=seq)
     header_addr = slot_base + end.slot_size - _HEADER_BYTES
     header, _polls = yield from ctx.spin_until_u64(
         header_addr, lambda v, s=seq: (v >> _SEQ_SHIFT) == s)
@@ -295,28 +323,37 @@ def gpu_recv(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd):
     return data
 
 
-def gpu_recv_ready(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd):
+def gpu_recv_ready(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd,
+                   announce: bool = True):
     """Consume the next message whose arrival is already proven (device
     code, receiver side).
 
     The notification-driven (``dev2dev-direct``) receive path: after the
     completer notification lands there is nothing left to poll — the header
     is read once from device memory and the slot is drained.  ``reverse``
-    serves credit returns exactly as in :func:`gpu_recv`.
+    serves credit returns exactly as in :func:`gpu_recv` (as does
+    ``announce``).
     """
     seq = end.consumed + 1
     slot_base = end.ring.base + end.slot_offset(seq)
+    trc = ctx.sim.tracer
+    if announce and trc.wants("causal"):
+        trc.flow_event("rcv", f"n{end.dst_node_id}",
+                       addr=(end.dst_node_id,
+                             end.ring_nla.base + end.slot_offset(seq)),
+                       seq=seq, via="notif")
     header = yield from ctx.load_u64(slot_base + end.slot_size - _HEADER_BYTES)
     if (header >> _SEQ_SHIFT) != seq:
         raise BenchmarkError(
             f"gpu_recv_ready: slot carries seq {header >> _SEQ_SHIFT}, "
             f"expected {seq} (arrival not proven?)")
-    data = yield from _consume_slot(ctx, end, reverse, seq, header)
+    data = yield from _consume_slot(ctx, end, reverse, seq, header,
+                                    via="notif")
     return data
 
 
 def _consume_slot(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd,
-                  seq: int, header: int):
+                  seq: int, header: int, via: str = "poll"):
     """Drain one arrived slot and return credits when due."""
     slot_base = end.ring.base + end.slot_offset(seq)
     length = header & _LEN_MASK
@@ -328,6 +365,12 @@ def _consume_slot(ctx: ThreadCtx, end: ChannelEnd, reverse: ChannelEnd,
         data += word[:step]
         offset += step
     end.consumed = seq
+    trc = ctx.sim.tracer
+    if trc.wants("causal"):
+        trc.flow_event("rcd", f"n{end.dst_node_id}",
+                       addr=(end.dst_node_id,
+                             end.ring_nla.base + end.slot_offset(seq)),
+                       seq=seq, via=via, bytes=length)
     # Return credits every half ring so the sender rarely stalls, and the
     # control traffic stays at one 8-byte put per slots/2 messages (§VI-3).
     # The scratch word and the outgoing port both belong to *this* node:

@@ -113,3 +113,8 @@ class ConfigError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark harness was driven with inconsistent arguments."""
+
+
+class CausalError(ReproError):
+    """The causal DAG could not be assembled or walked (missing flow
+    events, a dead-ended critical path, an unreconcilable request)."""

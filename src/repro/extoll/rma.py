@@ -144,13 +144,23 @@ class RmaUnit:
                 raise RmaError(f"unknown op {wr.op}")
 
     def _execute_put(self, wr: RmaWorkRequest, port: "RmaPort"):
+        trc = self.sim.tracer
+        causal = trc.wants("causal")
         src_phys = self.atu.translate(wr.src_nla, wr.size)
         data = yield from self.dma.read(src_phys, wr.size)
+        if causal:
+            # The address key (dst node, dst NLA) is the causal identity both
+            # endpoints can compute without any descriptor/wire change.
+            trc.flow_event("txr", f"{self.nic.name}.rma",
+                           addr=(wr.dst_node, wr.dst_nla), bytes=wr.size)
         yield from self.endpoint.send(Packet(
             PacketKind.RMA_PUT, self.nic.node_id, wr.dst_node,
             self.config.packet_header_bytes, data,
             meta={"dst_nla": wr.dst_nla, "port": wr.port, "flags": wr.flags},
         ))
+        if causal:
+            trc.flow_event("txd", f"{self.nic.name}.rma",
+                           addr=(wr.dst_node, wr.dst_nla), bytes=wr.size)
         # "When the transfer has been started, a requester notification is
         # created signaling the requester is able to receive another WR."
         # Chain-posted WRs additionally carry an on_started hook (no wire
@@ -213,8 +223,18 @@ class RmaUnit:
                 raise RmaError(f"EXTOLL NIC received foreign packet {packet!r}")
 
     def _complete_put(self, packet: Packet):
+        trc = self.sim.tracer
+        causal = trc.wants("causal")
+        if causal:
+            trc.flow_event("rxs", f"{self.nic.name}.rma",
+                           addr=(self.nic.node_id, packet.meta["dst_nla"]),
+                           bytes=len(packet.payload))
         dst_phys = self.atu.translate(packet.meta["dst_nla"], len(packet.payload))
         yield from self.dma.write(dst_phys, packet.payload)
+        if causal:
+            trc.flow_event("dlv", f"{self.nic.name}.rma",
+                           addr=(self.nic.node_id, packet.meta["dst_nla"]),
+                           bytes=len(packet.payload))
         if self.put_listeners:
             for listener in self.put_listeners:
                 listener(packet)

@@ -304,6 +304,17 @@ class Hca:
                 span.end()
                 mutex.release()
 
+    @staticmethod
+    def _causal_addr(dst_node: int, meta: dict):
+        """Causal address key of one request packet — (destination node,
+        target address).  RDMA writes land at an explicit remote address;
+        SENDs are consumed in order by the destination QP, so the QP number
+        is the shared key both ends can compute."""
+        opcode = IbOpcode(meta["opcode"])
+        if opcode in (IbOpcode.RDMA_WRITE, IbOpcode.RDMA_WRITE_WITH_IMM):
+            return (dst_node, meta["remote_addr"])
+        return (dst_node, ("qp", meta["dst_qp"]))
+
     def _execute_send_wqe(self, qp: QueuePair, wqe: Wqe):
         cfg = self.config
         self.mr_table.validate_local(wqe.lkey, wqe.local_addr, wqe.length)
@@ -341,9 +352,18 @@ class Hca:
             cqe_info = None     # READs complete on the response, not an ACK
         else:
             raise VerbsError(f"cannot execute {wqe.opcode} from the send queue")
+        trc = self.sim.tracer
+        causal = (trc.wants("causal")
+                  and wqe.opcode is not IbOpcode.RDMA_READ)
+        if causal:
+            addr = self._causal_addr(qp.remote_node, meta)
+            trc.flow_event("txr", f"{self.name}.rma", addr=addr,
+                           bytes=wqe.length)
         if cfg.reliability:
             self._retx_state(qp).track(meta["psn"], packet, cqe_info)
         yield from self.endpoint.send(packet)
+        if causal:
+            trc.flow_event("txd", f"{self.name}.rma", addr=addr)
 
     # -- receive path ---------------------------------------------------------------------
     def _receive_loop(self):
@@ -435,9 +455,17 @@ class Hca:
         meta = packet.meta
         qp = self.qp(meta["dst_qp"])
         qp.require_rtr()
+        trc = self.sim.tracer
+        causal = trc.wants("causal")
+        if causal:
+            addr = self._causal_addr(self.node_id, meta)
+            trc.flow_event("rxs", f"{self.name}.rma", addr=addr)
         self.mr_table.validate_remote(meta["rkey"], meta["remote_addr"],
                                       len(packet.payload))
         yield from self.dma.write(meta["remote_addr"], packet.payload)
+        if causal:
+            trc.flow_event("dlv", f"{self.name}.rma", addr=addr,
+                           bytes=len(packet.payload))
         if IbOpcode(meta["opcode"]) is IbOpcode.RDMA_WRITE_WITH_IMM:
             # Consumes a receive WQE; its address may be zero/ignored (§IV-A).
             yield from self._consume_rq_entry(qp, fetch=False)
@@ -451,6 +479,11 @@ class Hca:
         meta = packet.meta
         qp = self.qp(meta["dst_qp"])
         qp.require_rtr()
+        trc = self.sim.tracer
+        causal = trc.wants("causal")
+        if causal:
+            addr = self._causal_addr(self.node_id, meta)
+            trc.flow_event("rxs", f"{self.name}.rma", addr=addr)
         rq_wqe = yield from self._consume_rq_entry(qp, fetch=True)
         if rq_wqe.length < len(packet.payload):
             raise VerbsError(
@@ -459,6 +492,9 @@ class Hca:
         self.mr_table.validate_local(rq_wqe.lkey, rq_wqe.local_addr,
                                      len(packet.payload))
         yield from self.dma.write(rq_wqe.local_addr, packet.payload)
+        if causal:
+            trc.flow_event("dlv", f"{self.name}.rma", addr=addr,
+                           bytes=len(packet.payload))
         yield from self._write_cqe(qp.recv_cq, Cqe(
             wr_id=rq_wqe.wr_id, opcode=WcOpcode.RECV,
             status=WcStatus.SUCCESS, qp_num=qp.qp_num,

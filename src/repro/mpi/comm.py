@@ -223,6 +223,12 @@ class MpiCommunicator:
             src_nla=end.staging_nla.base + end.slot_offset(seq),
             dst_nla=end.ring_nla.base + end.slot_offset(seq),
             size=end.slot_size, flags=NotifyFlags.NONE)
+        trc = self.sim.tracer
+        if trc.wants("causal"):
+            trc.flow_event("stg", f"n{end.src_node_id}",
+                           addr=(end.dst_node_id, wr.dst_nla), seq=seq,
+                           msg=envelope.kind.name.lower(),
+                           bytes=len(payload))
         return seq, wr
 
     def _arm_send(self, window: _SendWindow, seq: int,
@@ -237,6 +243,10 @@ class MpiCommunicator:
 
         chain.completed.add_callback(on_fired)
         window.chains[seq] = chain
+        # The arming counter counts credit deliveries into the sender's
+        # credit word; name that address so the chain's causal `pst` can
+        # carry the credit->send edge.
+        chain.wait_hint = (end.src_node_id, end.credit_word_nla.base)
         chain.arm(window.counter, max(0, seq - end.slots))
 
     # -- the NIC-resident receive engine -------------------------------------------
@@ -255,6 +265,16 @@ class MpiCommunicator:
             body = bytes(node.gpu.dram.read(slot, length))
             end.consumed = seq
             self._return_credit(end)
+            trc = self.sim.tracer
+            if trc.wants("causal"):
+                # Emitted on the receiving RANK's actor (not the NIC): every
+                # request completion this drain triggers happens
+                # synchronously at this same instant, so actor program-order
+                # links it to the rest of the rank's timeline.
+                trc.flow_event("mrx", f"n{end.dst_node_id}",
+                               addr=(end.dst_node_id,
+                                     end.ring_nla.base + end.slot_offset(seq)),
+                               seq=seq, bytes=length)
             try:
                 envelope = Envelope.decode(body[:ENVELOPE_BYTES])
             except MpiError as exc:
@@ -386,6 +406,9 @@ class MpiRank:
         if trc.wants("mpi"):
             trc.instant("mpi", "isend", track=f"mpi.rank{self.rank}",
                         dest=dest, tag=tag, bytes=len(data))
+        if trc.wants("causal"):
+            trc.flow_event("snd", f"n{self.rank}", dest=dest, tag=tag,
+                           bytes=len(data))
         if len(data) <= self.comm.config.eager_threshold:
             self._send_eager(dest, data, tag, req)
         else:
@@ -403,6 +426,8 @@ class MpiRank:
         if trc.wants("mpi"):
             trc.instant("mpi", "irecv", track=f"mpi.rank{self.rank}",
                         source=source, tag=tag)
+        if trc.wants("causal"):
+            trc.flow_event("rcv", f"n{self.rank}", source=source, tag=tag)
         msg = self.matcher.post(req)
         if msg is not None:
             self._deliver(req, msg)
@@ -410,6 +435,14 @@ class MpiRank:
 
     def _send_done(self) -> None:
         self.pending_sends -= 1
+
+    def _complete_send(self, req: MpiRequest, addr) -> None:
+        """Complete a send request when its chain finished, stamping the
+        causal completion on this rank's actor."""
+        trc = self.comm.sim.tracer
+        if trc.wants("causal"):
+            trc.flow_event("snd.done", f"n{self.rank}", addr=addr)
+        req.complete()
 
     # -- eager ---------------------------------------------------------------------
     def _send_eager(self, dest: int, data: bytes, tag: int,
@@ -421,7 +454,9 @@ class MpiRank:
         seq, wr = self.comm._stage_slot(window, envelope, data)
         unit = self.comm.units[self.rank]
         chain = unit.chain(f"r{self.rank}>r{dest}.eager{seq}").append(wr)
-        chain.completed.add_callback(lambda _ev: req.complete())
+        chain.completed.add_callback(
+            lambda _ev, addr=(wr.dst_node, wr.dst_nla):
+            self._complete_send(req, addr))
         self.comm._arm_send(window, seq, chain)
         self.eager_sent += 1
 
@@ -468,7 +503,18 @@ class MpiRank:
         chain.append(data_wr).append(fin_wr)
         # EXTOLL keeps same-path puts in order: FIN lands after the payload.
         chain.replace_wr(0, dst_nla=envelope.size)
-        chain.completed.add_callback(lambda _ev: req.complete())
+        trc = self.comm.sim.tracer
+        if trc.wants("causal"):
+            # The rendezvous payload is read straight from the registered
+            # user buffer — no slot staging — so its WQE-generation moment
+            # (the causal ``stg`` its chain-fired ``pst`` walks back to) is
+            # the descriptor patch here, on CTS receipt.
+            trc.flow_event("stg", f"n{self.rank}",
+                           addr=(dest, envelope.size), msg="data",
+                           bytes=data_wr.size)
+        chain.completed.add_callback(
+            lambda _ev, addr=(fin_wr.dst_node, fin_wr.dst_nla):
+            self._complete_send(req, addr))
         self.comm._arm_send(window, seq, chain)
 
     def _on_fin(self, envelope: Envelope) -> None:

@@ -40,10 +40,11 @@ from .query import (
     span_intervals,
     subtract,
 )
-from .tracer import InstantRecord, Span, SpanRecord, SpanTracer
+from .tracer import FlowRecord, InstantRecord, Span, SpanRecord, SpanTracer
 
 __all__ = [
     "Counter",
+    "FlowRecord",
     "Histogram",
     "InstantRecord",
     "MetricsRegistry",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from dataclasses import dataclass
 from typing import IO, Dict, List, Optional, Union
 
@@ -27,14 +28,34 @@ def _ts(seconds: float) -> float:
     return seconds * _US
 
 
+def _natural(track: str) -> tuple:
+    """Sort key that orders embedded numbers numerically, so per-rank
+    tracks come out ``n0, n1, ..., n9, n10`` in Perfetto instead of the
+    lexical ``n0, n1, n10, n2``."""
+    return tuple(int(part) if part.isdigit() else part
+                 for part in re.split(r"(\d+)", track))
+
+
+def track_tids(tracer: SpanTracer) -> Dict[str, int]:
+    """track -> tid, numbered in natural order (Perfetto sorts rows by
+    tid).  Includes flow-event actors so arrows land on named rows."""
+    tracks = set(tracer.tracks()) | {f.actor for f in tracer.flows}
+    return {track: i + 1
+            for i, track in enumerate(sorted(tracks, key=_natural))}
+
+
 def chrome_trace_events(tracer: SpanTracer, pid: int = 0) -> List[dict]:
     """Flatten a tracer into a sorted trace-event list.
 
     Events on one ``tid`` are strictly nested: at equal timestamps, ``E``
     events close inner spans before outer ones and ``B`` events open outer
     spans before inner ones, so loaders never see a crossing.
+
+    Causal flow events are emitted as Chrome flow arrows: per message
+    address wave, ``s`` at the first hop, ``t`` steps in between, ``f`` at
+    the last — one arrow id per (addr, wave).
     """
-    tids = {track: i + 1 for i, track in enumerate(tracer.tracks())}
+    tids = track_tids(tracer)
     events: List[dict] = []
     for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
         events.append({"ph": "M", "name": "thread_name", "pid": pid,
@@ -64,6 +85,30 @@ def chrome_trace_events(tracer: SpanTracer, pid: int = 0) -> List[dict]:
                       {"ph": "i", "name": inst.name, "cat": inst.category,
                        "ts": _ts(inst.time), "pid": pid, "tid": tids[inst.track],
                        "s": "t", "args": dict(inst.attrs)}))
+    # Flow arrows: group the causal events of one message (same address,
+    # same reuse wave) under one flow id, start-to-finish in hop order.
+    waves: Dict[tuple, List] = {}
+    wave_count: Dict[tuple, int] = {}
+    for flow in tracer.flows:
+        if flow.addr is None:
+            continue
+        key = (flow.addr, flow.kind)
+        wave = wave_count.get(key, 0)
+        wave_count[key] = wave + 1
+        waves.setdefault((flow.addr, wave), []).append(flow)
+    for flow_id, (key, hops) in enumerate(sorted(waves.items(),
+                                                 key=lambda kv: kv[1][0].seq)):
+        if len(hops) < 2:
+            continue
+        for pos, flow in enumerate(hops):
+            ph = "s" if pos == 0 else ("f" if pos == len(hops) - 1 else "t")
+            ev = {"ph": ph, "name": f"~{flow.kind}", "cat": "causal",
+                  "id": flow_id, "ts": _ts(flow.time), "pid": pid,
+                  "tid": tids[flow.actor],
+                  "args": {"kind": flow.kind, **flow.attrs}}
+            if ph == "f":
+                ev["bp"] = "e"  # bind to the enclosing slice, arrow at ts
+            timed.append(((_ts(flow.time), 2, 0, 0, flow.seq), ev))
     timed.sort(key=lambda kv: kv[0])
     events.extend(ev for _key, ev in timed)
     return events
@@ -121,6 +166,9 @@ def validate_chrome_trace(events: List[dict]) -> None:
                 raise ValueError(
                     f"mispaired span on tid {tid}: B={opener['name']!r} "
                     f"closed by E={ev['name']!r}")
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                raise ValueError(f"flow event without id on tid {tid}: {ev}")
         elif ph != "i":
             raise ValueError(f"unexpected event phase {ph!r}")
     leftovers = [ev["name"] for stack in stacks.values() for ev in stack]

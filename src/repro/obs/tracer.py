@@ -65,6 +65,33 @@ class SpanRecord:
 
 
 @dataclass(frozen=True)
+class FlowRecord:
+    """One causal flow event (see :mod:`repro.causal`).
+
+    ``seq`` is a global emission index: two events at the same simulated
+    time are ordered by emission, which is exactly the simulator's
+    deterministic execution order — the DAG builder uses ``(time, seq)``
+    as its happens-before tiebreak.  ``addr`` is the message's address key
+    ``(dst_node, dst_nla)`` (or ``None`` for purely local events); both
+    endpoints compute it independently from shared protocol state, so no
+    descriptor or wire format carries any tracing payload.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    actor: str
+    addr: Optional[tuple] = None
+    attrs: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        attrs = "".join(f" {k}={v}" for k, v in self.attrs.items())
+        addr = f" @{self.addr}" if self.addr is not None else ""
+        return (f"[{self.time * 1e6:12.3f}us             ] "
+                f"{self.actor:<22} ~{self.kind}{addr}{attrs}")
+
+
+@dataclass(frozen=True)
 class InstantRecord:
     """One point event."""
 
@@ -136,10 +163,12 @@ class SpanTracer(Tracer):
         self.metrics = MetricsRegistry()
         self.spans: List[SpanRecord] = []
         self.instants: List[InstantRecord] = []
+        self.flows: List[FlowRecord] = []
         self.max_spans = max_spans
         self.dropped = 0
         self._stacks: Dict[str, List[Span]] = {}
         self._ids = itertools.count(1)
+        self._flow_ids = itertools.count(0)
         self._offset = 0.0
         self._latest = 0.0
         self._epoch = 0
@@ -224,6 +253,22 @@ class SpanTracer(Tracer):
         if self._sink is not None:
             self._sink(record)
 
+    # -- causal flow events ------------------------------------------------------
+    def flow_event(self, kind: str, actor: str, addr=None, **attrs) -> None:
+        if not self._passes_category("causal"):
+            return
+        time = self.now()
+        if not self._passes_window(time):
+            return
+        if self.max_spans is not None and len(self.flows) >= self.max_spans:
+            self.dropped += 1
+            return
+        record = FlowRecord(next(self._flow_ids), time, kind, actor, addr,
+                            attrs)
+        self.flows.append(record)
+        if self._sink is not None:
+            self._sink(record)
+
     # -- introspection -----------------------------------------------------------
     def open_spans(self) -> List[Span]:
         """Spans begun but not yet ended (useful to catch leaks in tests)."""
@@ -246,6 +291,7 @@ class SpanTracer(Tracer):
         super().clear()
         self.spans.clear()
         self.instants.clear()
+        self.flows.clear()
         self._stacks.clear()
         self.metrics.clear()
         self.dropped = 0

@@ -191,6 +191,36 @@ def collectives_allreduce() -> ScenarioResult:
         res.invariant(f"{mode.value}/correct", r.correct)
         res.invariant(f"{mode.value}/ring-steps",
                       inv.ring_allreduce_steps(r.steps, nodes))
+    # Documentary companion to the latency metrics: the causal layer's
+    # exact critical-path composition of the same ring all-reduce, per
+    # control mode — the blame table that says WHERE each mode's time
+    # goes, not just how much there is.  Lives in ``extra`` (committed
+    # with the baseline but never compared) because the shares move with
+    # any latency-model change by design.
+    from ..causal import analyze_run
+    from ..obs.tracer import SpanTracer
+    from ..workloads.apps import get_workload
+    from ..workloads.generator import WorkloadRun
+    from ..workloads.transport import MODES
+
+    composition = {}
+    for tmode in MODES:
+        sim = Simulator(seed=0)
+        tracer = SpanTracer(sim, categories=("causal", "workload"))
+        sim.set_tracer(tracer)
+        WorkloadRun(get_workload("allreduce"), tmode, nodes=nodes,
+                    size=size, requests=1, loop="closed", seed=0,
+                    sim=sim).execute()
+        analysis = analyze_run(tracer)
+        composition[tmode] = {
+            "shares_pct": {cat: round(share * 100.0, 3)
+                           for cat, share in
+                           analysis.blame_shares().items()},
+            "path_us": round(sum(p.total for p in analysis.paths) * 1e6,
+                             3),
+            "hops": sum(len(p.segments) for p in analysis.paths),
+        }
+    res.extra["critical_path_composition"] = composition
     return res
 
 

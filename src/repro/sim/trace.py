@@ -183,6 +183,13 @@ class Tracer:
                 **attrs) -> None:
         self.emit(category, name)
 
+    # -- causal flow events (degraded: flat tracers keep no flow log) -------------
+    def flow_event(self, kind: str, actor: str, addr=None, **attrs) -> None:
+        """Record one causal flow event (see :mod:`repro.causal`).  Flat
+        tracers drop them; :class:`repro.obs.SpanTracer` stores them when the
+        ``"causal"`` category passes its filter.  Emission sites guard with
+        ``trc.wants("causal")`` so the disarmed path never builds arguments."""
+
 
 class NullTracer:
     """A tracer that drops everything (the default).  Shares the full
@@ -210,6 +217,9 @@ class NullTracer:
 
     def instant(self, category: str, name: str, track: str = "main",
                 **attrs) -> None:
+        pass
+
+    def flow_event(self, kind: str, actor: str, addr=None, **attrs) -> None:
         pass
 
     def filter(self, category: str) -> List[TraceRecord]:

@@ -33,6 +33,30 @@ def _prom_name(name: str) -> str:
     return f"repro_{sanitized}"
 
 
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash, double
+    quote, and newline.  Entity ids like ``rel.3->0.tx`` carry ``->`` and
+    arbitrary punctuation — legal in label VALUES, but only once escaped."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _family(series_name: str):
+    """Split ``prefix.<entity>.<metric>`` into a metric family + label.
+
+    Dotted series with an entity segment in the middle (``link.0-1.bytes``,
+    ``rel.3->0.tx``) collapse into ONE family (``repro_link_bytes``) whose
+    samples differ by an ``id`` label — the exposition format forbids
+    repeating ``# HELP``/``# TYPE`` per entity, and entity names are not
+    legal in metric names anyway.  Two-segment names stay label-free.
+    """
+    parts = series_name.split(".")
+    if len(parts) >= 3:
+        return _prom_name(f"{parts[0]}_{parts[-1]}"), ".".join(parts[1:-1])
+    return _prom_name(series_name), None
+
+
 def _write_json(path: str, doc: dict) -> None:
     parent = os.path.dirname(path)
     if parent:
@@ -69,32 +93,57 @@ def prometheus_text(sampler: Sampler, registry=None) -> str:
     """The run's final state in the Prometheus exposition format.
 
     Counter series expose their lifetime totals, gauges their last level.
-    With a :class:`~repro.obs.metrics.MetricsRegistry`, its histograms are
+    Series sharing a family (per-link byte counters, per-channel
+    reliability stats) are grouped under ONE ``# HELP``/``# TYPE`` header
+    and distinguished by an escaped ``id`` label.  With a
+    :class:`~repro.obs.metrics.MetricsRegistry`, its histograms are
     rendered as cumulative ``le`` buckets (each power-of-two bucket's upper
     bound ``2**e`` becomes a ``le`` label) plus ``_sum``/``_count``.
     """
-    lines = []
+    # (family name, kind) -> [(label, series)]; one header per family even
+    # when many entities share it.  The kind rides in the key so a (never
+    # expected) counter/gauge clash degrades to two families instead of an
+    # exposition-format violation.
+    families: dict = {}
     for series in sampler.bank:
-        name = _prom_name(series.name)
-        if series.kind == "counter":
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name}_total {series.total():g}")
-        else:
-            last = series.last
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {last.value if last else 0:g}")
+        name, label = _family(series.name)
+        families.setdefault((name, series.kind), []).append((label, series))
+    lines = []
+    for name, kind in sorted(families):
+        samples = families[(name, kind)]
+        lines.append(f"# HELP {name} repro telemetry series "
+                     f"({len(samples)} sample(s))")
+        lines.append(f"# TYPE {name} {kind}")
+        for label, series in samples:
+            tag = (f'{{id="{_prom_label_value(label)}"}}'
+                   if label is not None else "")
+            if kind == "counter":
+                lines.append(f"{name}_total{tag} {series.total():g}")
+            else:
+                last = series.last
+                lines.append(f"{name}{tag} {last.value if last else 0:g}")
     if registry is not None:
+        seen = set()
         for hname, hist in sorted(registry.histograms().items()):
-            name = _prom_name(hname)
-            lines.append(f"# TYPE {name} histogram")
+            name, label = _family(hname)
+            tag = (f'id="{_prom_label_value(label)}"'
+                   if label is not None else "")
+            if name not in seen:
+                seen.add(name)
+                lines.append(f"# HELP {name} repro telemetry histogram")
+                lines.append(f"# TYPE {name} histogram")
             cumulative = 0
             for e in sorted(hist.buckets):
                 cumulative += hist.buckets[e]
-                lines.append(f'{name}_bucket{{le="{2.0 ** e:g}"}} '
+                sep = "," if tag else ""
+                lines.append(f'{name}_bucket{{{tag}{sep}le="{2.0 ** e:g}"}} '
                              f"{cumulative}")
-            lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
-            lines.append(f"{name}_sum {hist.total:g}")
-            lines.append(f"{name}_count {hist.count}")
+            sep = "," if tag else ""
+            lines.append(f'{name}_bucket{{{tag}{sep}le="+Inf"}} '
+                         f"{hist.count}")
+            braces = f"{{{tag}}}" if tag else ""
+            lines.append(f"{name}_sum{braces} {hist.total:g}")
+            lines.append(f"{name}_count{braces} {hist.count}")
     return "\n".join(lines) + "\n"
 
 

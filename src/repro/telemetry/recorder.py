@@ -30,7 +30,7 @@ from collections import deque
 from dataclasses import asdict
 from typing import Callable, Iterable, List, Optional, TYPE_CHECKING
 
-from ..obs.tracer import InstantRecord, SpanRecord, SpanTracer
+from ..obs.tracer import FlowRecord, InstantRecord, SpanRecord, SpanTracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.engine import Simulator
@@ -46,7 +46,7 @@ DEFAULT_TRIGGERS = ("retry-exhausted",)
 #: Their hot sites gate on :meth:`~repro.sim.trace.Tracer.wants`, so
 #: filtering skips even the argument construction.  Pass
 #: ``categories=None`` for a full-fidelity recorder.
-DEFAULT_CATEGORIES = ("bench", "collective", "fault", "gpu.block",
+DEFAULT_CATEGORIES = ("bench", "causal", "collective", "fault", "gpu.block",
                       "gpu.kernel", "ib", "ib.api", "mpi", "net", "phase",
                       "rel", "rma", "rma.api", "trig", "workload")
 
@@ -69,6 +69,7 @@ class FlightRecorder(SpanTracer):
         self.spans = deque(maxlen=capacity)
         self.instants = deque(maxlen=capacity)
         self.records = deque(maxlen=capacity)
+        self.flows = deque(maxlen=capacity)
         self.triggers = set(triggers)
         self.trips: List[dict] = []
         #: Called as ``cb(reason, dump)`` on every trip.
@@ -84,6 +85,8 @@ class FlightRecorder(SpanTracer):
             if record.name in self.triggers:
                 self.trip(f"{record.category}/{record.name}",
                           detail=dict(record.attrs))
+        elif isinstance(record, FlowRecord):
+            self.metrics.counter(f"flow.{record.kind}").inc()
 
     # -- tripping ----------------------------------------------------------------
     def trip(self, reason: str, detail: Optional[dict] = None) -> dict:
@@ -104,6 +107,7 @@ class FlightRecorder(SpanTracer):
             "capacity": self.capacity,
             "spans": [asdict(s) for s in self.spans],
             "instants": [asdict(i) for i in self.instants],
+            "flows": [asdict(f) for f in self.flows],
             "open_spans": [{"category": s.category, "name": s.name,
                             "track": s.track, "begin": s.begin}
                            for s in self.open_spans()],

@@ -225,9 +225,24 @@ class TriggeredUnit:
                           track=f"{self.nic.name}.trig",
                           descriptors=len(chain.wrs))
                 if trc.enabled else NULL_SPAN)
+        if trc.wants("causal"):
+            trc.flow_event("chain.fire", f"{self.nic.name}.trig",
+                           chain=chain.name, descriptors=len(chain.wrs))
 
         def post() -> None:
             wrs = [self._hooked(wr, chain) for wr in chain.wrs]
+            if trc.wants("causal"):
+                # Chain-fired descriptors never touch a BAR; their causal
+                # `pst` happens here, on the NIC.  ``wait_hint`` (set by
+                # whoever armed the chain, e.g. the MPI layer) names the
+                # address whose delivery the arming counter was counting —
+                # the credit->send edge of the DAG.
+                hint = getattr(chain, "wait_hint", None)
+                for wr in wrs:
+                    trc.flow_event("pst", f"{self.nic.name}.trig",
+                                   addr=(wr.dst_node, wr.dst_nla),
+                                   via="chain", chain=chain.name,
+                                   wait_hint=hint)
             self.nic.rma.post_many(wrs)
             span.end()
 
@@ -255,6 +270,10 @@ class TriggeredUnit:
         if chain._remaining == 0:
             chain.state = ChainState.COMPLETED
             self.stats.chains_completed += 1
+            trc = self.sim.tracer
+            if trc.wants("causal"):
+                trc.flow_event("chain.done", f"{self.nic.name}.trig",
+                               chain=chain.name)
             for counter, amount in chain.completion_ticks:
                 counter.add(amount)
             chain.completed.succeed()

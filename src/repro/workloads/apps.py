@@ -269,6 +269,79 @@ def _psfanin(reduce_instr_per_el: int) -> Workload:
 
 
 # =============================================================================
+# pingpong — the paper's §V latency microbenchmark as a request
+# =============================================================================
+
+def _pingpong(rounds: int, skew_rank: int, skew_instr: int) -> Workload:
+    """Rank 0 and rank 1 exchange one message per round; other ranks idle.
+    The skew knobs charge ``skew_instr`` extra instructions on
+    ``skew_rank`` before its first op — the forced-straggler canary the
+    critical-path analyzer must name."""
+
+    def script(req: int, rank: int, nodes: int, size: int):
+        if rank >= 2:
+            return None
+        if rank == skew_rank and skew_instr:
+            yield ("compute", skew_instr)
+        if rank == 0:
+            echoes = []
+            for r in range(rounds):
+                yield ("send", 1, payload(req + r, 0, 1, size))
+                echoes.append((yield ("recv", 1)))
+            return echoes
+        for r in range(rounds):
+            ball = yield ("recv", 0)
+            yield ("send", 0, expert_transform(ball))
+        return None
+
+    def verify(req: int, rank: int, nodes: int, size: int,
+               result: object) -> bool:
+        if rank != 0:
+            return result is None
+        expected = [expert_transform(payload(req + r, 0, 1, size))
+                    for r in range(rounds)]
+        return result == expected
+
+    return Workload(
+        name="pingpong",
+        description="rank 0 <-> rank 1 request/echo rounds: the latency "
+                    "microbenchmark in service-request form",
+        connectivity="ring", min_nodes=2, script=script, verify=verify,
+        request_bytes=lambda nodes, size: 2 * rounds * size,
+        knobs={"rounds": rounds, "skew_rank": skew_rank,
+               "skew_instr": skew_instr})
+
+
+# =============================================================================
+# allreduce — the bare ring collective (trainstep without the compute)
+# =============================================================================
+
+def _allreduce(skew_rank: int, skew_instr: int) -> Workload:
+    def script(req: int, rank: int, nodes: int, size: int):
+        if rank == skew_rank and skew_instr:
+            yield ("compute", skew_instr)
+        result = yield from _allreduce_ops(req, rank, nodes, size)
+        return result
+
+    def verify(req: int, rank: int, nodes: int, size: int,
+               result: object) -> bool:
+        vectors = [grad_vector(req, r, nodes * (size // 8))
+                   for r in range(nodes)]
+        expected = [sum(col) for col in zip(*vectors)]
+        return (isinstance(result, list) and len(result) == len(expected)
+                and all(abs(a - b) <= 1e-9
+                        for a, b in zip(result, expected)))
+
+    return Workload(
+        name="allreduce",
+        description="bare ring all-reduce of one gradient vector, with a "
+                    "forced-straggler skew knob",
+        connectivity="ring", min_nodes=2, script=script, verify=verify,
+        request_bytes=lambda nodes, size: 2 * (nodes - 1) * nodes * size,
+        knobs={"skew_rank": skew_rank, "skew_instr": skew_instr})
+
+
+# =============================================================================
 # registry
 # =============================================================================
 
@@ -279,6 +352,8 @@ WORKLOADS: Dict[str, Workload] = {
         _moe(expert_instr=400),
         _kvcache(kv_chunks=4, append_instr=100),
         _psfanin(reduce_instr_per_el=2),
+        _pingpong(rounds=4, skew_rank=-1, skew_instr=0),
+        _allreduce(skew_rank=-1, skew_instr=0),
     )
 }
 
@@ -301,5 +376,12 @@ def get_workload(name: str, **knobs) -> Workload:
             append_instr=int(knobs.get("append_instr", 100))),
         "psfanin": lambda: _psfanin(
             reduce_instr_per_el=int(knobs.get("reduce_instr_per_el", 2))),
+        "pingpong": lambda: _pingpong(
+            rounds=int(knobs.get("rounds", 4)),
+            skew_rank=int(knobs.get("skew_rank", -1)),
+            skew_instr=int(knobs.get("skew_instr", 0))),
+        "allreduce": lambda: _allreduce(
+            skew_rank=int(knobs.get("skew_rank", -1)),
+            skew_instr=int(knobs.get("skew_instr", 0))),
     }
     return builders[name]()

@@ -290,11 +290,17 @@ class WorkloadRun:
             busy[0] = True
             stats.inflight = 1
             dispatch_at[req] = sim.now
+            if trc.wants("causal"):
+                # Stamped at the same instant service_times starts counting,
+                # so the critical path reconciles against it exactly.
+                trc.flow_event("req.begin", "driver", req=req)
             self.transport.start_request(
                 req, lambda results, r=req: complete(r, results))
 
         def complete(req: int, results: Dict[int, object]) -> None:
             now = sim.now
+            if trc.wants("causal"):
+                trc.flow_event("req.end", "driver", req=req)
             first_completion[0] = min(first_completion[0], now)
             last_completion[0] = now
             busy[0] = False

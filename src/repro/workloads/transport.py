@@ -135,9 +135,15 @@ class WorkloadTransport:
         engine = self.mode == "engine"
 
         def body(ctx, rc):
+            trc = ctx.sim.tracer
+            causal = trc.wants("causal")
+            if causal:
+                trc.flow_event("rank.begin", f"n{rc.rank}", req=req)
             gen = self.workload.script(req, rc.rank, self.nodes, self.size)
             results[rc.rank] = yield from self._interpret(ctx, rc, gen,
                                                           engine)
+            if causal:
+                trc.flow_event("rank.end", f"n{rc.rank}", req=req)
 
         handles = self.comm.launch(body)
         remaining = [len(handles)]
@@ -169,6 +175,9 @@ class WorkloadTransport:
                 value = yield from rc.recv(ctx, op[1])
             elif kind == "compute":
                 yield from rc.compute(ctx, op[1])
+                trc = ctx.sim.tracer
+                if trc.wants("causal"):
+                    trc.flow_event("cmp", f"n{rc.rank}", instr=op[1])
                 value = None
             else:
                 raise BenchmarkError(f"unknown workload op {kind!r}")
@@ -183,6 +192,10 @@ class WorkloadTransport:
                                      ncfg.batch_region_offset,
                                      ncfg.batch_doorbell_offset, [wr],
                                      self.lanes)
+        trc = ctx.sim.tracer
+        if trc.wants("causal"):
+            trc.flow_event("pst", f"n{end.src_node_id}",
+                           addr=(wr.dst_node, wr.dst_nla), via="engine")
         gpu_finish_send(end)
         stats = self.engine_stats
         stats.messages += 1
@@ -196,14 +209,20 @@ class WorkloadTransport:
                    on_done: Callable) -> None:
         remaining = [self.mpi.size]
         tag = req % _TAG_SPAN
+        trc = self.sim.tracer
+        causal = trc.wants("causal")
 
         def one_done(rank: int, mreq: MpiRequest) -> None:
+            if causal:
+                trc.flow_event("rank.end", f"n{rank}", req=req)
             results[rank] = mreq.data
             remaining[0] -= 1
             if remaining[0] == 0:
                 on_done(results)
 
         for rank in self.mpi.ranks:
+            if causal:
+                trc.flow_event("rank.begin", f"n{rank.rank}", req=req)
             mreq = MpiRequest(self.sim, "workload", rank.rank)
             mreq.done.add_callback(
                 lambda _ev, r=rank.rank, q=mreq: one_done(r, q))
@@ -220,6 +239,7 @@ class WorkloadTransport:
         exchange patterns (the same discipline as the MPI collectives).
         """
         per_instr = rank.node.gpu.config.instruction_time
+        trc = self.sim.tracer
         sends: List[MpiRequest] = []
         value = None
         while True:
@@ -236,6 +256,8 @@ class WorkloadTransport:
                 value = yield rank.irecv(source=op[1], tag=tag)
             elif kind == "compute":
                 yield op[1] * per_instr
+                if trc.wants("causal"):
+                    trc.flow_event("cmp", f"n{rank.rank}", instr=op[1])
                 value = None
             else:
                 raise BenchmarkError(f"unknown workload op {op[0]!r}")

@@ -1,0 +1,95 @@
+"""Waterfall / blame renderers and the annotated Chrome trace."""
+
+from __future__ import annotations
+
+import json
+
+from repro.causal.critpath import RunAnalysis, extract_path
+from repro.causal.dag import CausalDag
+from repro.causal.export import (annotated_trace_events, render_blame,
+                                 render_slack, render_waterfall,
+                                 write_annotated_trace)
+
+from .test_dag import make_trace, one_message_rows
+
+
+def _analysis():
+    dag = CausalDag(make_trace(one_message_rows()))
+    return dag, RunAnalysis(paths=[extract_path(dag, 0)])
+
+
+def test_waterfall_tells_the_whole_story():
+    _, analysis = _analysis()
+    text = render_waterfall(analysis.paths[0], title="req 0")
+    assert text.startswith("req 0\n=====")
+    assert "13 hops" in text.splitlines()[2]
+    # One line per segment, forward in time, with blame + edge marks.
+    assert "dlv -> rcd" in text
+    assert "<=remote" in text
+    assert "(waited" in text
+    # The per-rank view names rank 0 the straggler (owned time, not
+    # latest finisher).
+    assert "rank 0:" in text and "<-- straggler" in text
+    straggler_line = next(line for line in text.splitlines()
+                          if "straggler" in line and "rank" in line)
+    assert "rank 0" in straggler_line
+
+
+def test_blame_table_orders_and_totals():
+    _, analysis = _analysis()
+    text = render_blame(analysis.blame(), analysis.paths[0].total)
+    lines = text.splitlines()
+    assert lines[-1].split()[0] == "total"
+    assert "100.00%" in lines[-1]
+    body = "\n".join(lines)
+    assert body.index("data-dma") < body.index("compute") < body.index("app")
+
+
+def test_slack_histogram_counts_stragglers():
+    _, analysis = _analysis()
+    text = render_slack(analysis)
+    assert "rank 0:" in text and "rank 1:" in text
+    assert "straggler in 1/1 requests" in text
+    empty = render_slack(RunAnalysis(paths=[]))
+    assert "no per-rank" in empty
+
+
+class _FakeTracer:
+    """Just enough SpanTracer surface for the Chrome exporter."""
+
+    def __init__(self, flows):
+        self.flows = flows
+        self.spans = []
+        self.instants = []
+
+    def tracks(self):
+        return []
+
+
+def test_annotated_trace_overlays_critpath_arrows(tmp_path):
+    flows = make_trace(one_message_rows())
+    dag = CausalDag(flows)
+    analysis = RunAnalysis(paths=[extract_path(dag, 0)])
+    tracer = _FakeTracer(flows)
+    events = annotated_trace_events(tracer, analysis)
+    arrows = [ev for ev in events if ev.get("cat") == "critpath"]
+    starts = [ev for ev in arrows if ev["ph"] == "s"]
+    ends = [ev for ev in arrows if ev["ph"] == "f"]
+    # Cross-actor hops only; every start pairs with one finish by id.
+    assert starts and len(starts) == len(ends)
+    assert sorted(ev["id"] for ev in starts) == \
+        sorted(ev["id"] for ev in ends)
+    for ev in ends:
+        assert ev["bp"] == "e"
+    # Timestamps are sorted (Perfetto requirement after the merge).
+    ts = [ev["ts"] for ev in events if "ts" in ev]
+    assert ts == sorted(ts)
+
+    out = tmp_path / "deep" / "trace.json"   # parent dir must be created
+    doc = write_annotated_trace(tracer, analysis, str(out))
+    on_disk = json.loads(out.read_text())
+    assert on_disk["otherData"]["requests"] == [0]
+    assert on_disk["otherData"]["blame"] == {
+        k: v for k, v in doc["otherData"]["blame"].items()}
+    assert any(ev.get("cat") == "critpath"
+               for ev in on_disk["traceEvents"])

@@ -101,3 +101,66 @@ def test_span_ending_on_a_window_edge_belongs_left_of_it():
     spans = [(1.0, 2.0)]
     assert coverage(clip(spans, (0.0, 2.0))) == pytest.approx(1.0)
     assert coverage(clip(spans, (2.0, 4.0))) == 0.0
+
+
+# -- zero-width spans and identical-timestamp ordering ------------------------------
+
+def test_merge_drops_zero_width_everywhere():
+    """Zero-width [x, x) intervals contribute nothing — standalone, glued
+    to a real interval's edge, or inside one."""
+    assert merge([(1.0, 1.0)]) == []
+    assert merge([(1.0, 1.0), (2.0, 2.0)]) == []
+    assert merge([(1.0, 2.0), (1.0, 1.0), (2.0, 2.0), (1.5, 1.5)]) \
+        == [(1.0, 2.0)]
+    assert coverage(merge([(1.0, 1.0), (1.0, 2.0)])) == pytest.approx(1.0)
+
+
+def test_merge_identical_timestamps_is_order_independent():
+    """Intervals sharing begin (or begin == another's end) must merge to
+    the same disjoint list no matter the input order."""
+    import itertools
+    intervals = [(1.0, 3.0), (1.0, 2.0), (1.0, 1.0), (3.0, 4.0), (0.5, 1.0)]
+    expect = merge(intervals)
+    assert expect == [(0.5, 4.0)]
+    for perm in itertools.permutations(intervals):
+        assert merge(perm) == expect
+
+
+def test_merge_same_begin_takes_longest_end():
+    assert merge([(1.0, 1.5), (1.0, 4.0), (1.0, 2.0)]) == [(1.0, 4.0)]
+    assert merge([(1.0, 4.0), (1.0, 1.0)]) == [(1.0, 4.0)]
+
+
+def test_subtract_with_zero_width_windows_and_cover():
+    """A zero-width window yields nothing; a zero-width cover removes
+    nothing (it would otherwise split a window into a degenerate pair)."""
+    assert subtract([(1.0, 1.0)], [(0.0, 5.0)]) == []
+    assert subtract([(1.0, 1.0)], []) == []
+    # Zero-width cover entries are not produced by merge(), but subtract
+    # must still never emit degenerate slivers around them.
+    out = subtract([(0.0, 2.0)], [(1.0, 1.0)])
+    assert coverage(out) == pytest.approx(2.0)
+    assert all(e > b for b, e in out)
+
+
+def test_overlap_zero_width_window_contributes_nothing():
+    assert overlap([(0.0, 10.0)], [(5.0, 5.0)]) == []
+    assert overlap([(3.0, 3.0)], [(0.0, 10.0)]) == []
+
+
+def test_span_intervals_sorts_identical_begin_deterministically():
+    """Spans opening at the same instant (common: a zero-cost phase next
+    to a real one) sort by (begin, end) — stable across runs, zero-width
+    first."""
+    class _T:
+        pass
+    class _S:
+        def __init__(self, b, e):
+            self.category, self.name, self.track = "c", "n", "t"
+            self.begin, self.end = b, e
+    t = _T()
+    t.spans = [_S(2.0, 3.0), _S(2.0, 2.0), _S(1.0, 1.0), _S(2.0, 2.5)]
+    got = span_intervals(t)
+    assert got == [(1.0, 1.0), (2.0, 2.0), (2.0, 2.5), (2.0, 3.0)]
+    # and the pipeline end-state ignores the zero-width ones entirely
+    assert merge(got) == [(2.0, 3.0)]

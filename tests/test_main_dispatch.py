@@ -9,7 +9,7 @@ import sys
 from repro.__main__ import COMMANDS, main, render_command_table
 
 EXPECTED = {"report", "trace", "profile", "bench", "collectives", "faults",
-            "engine", "monitor", "triggered", "mpi", "workloads"}
+            "engine", "monitor", "triggered", "mpi", "workloads", "critpath"}
 
 
 def test_registry_covers_every_subcommand():

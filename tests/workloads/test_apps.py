@@ -9,7 +9,8 @@ import pytest
 from repro.errors import BenchmarkError
 from repro.workloads import WORKLOADS, WorkloadRun, get_workload
 
-EXPECTED = {"trainstep", "moe", "kvcache", "psfanin"}
+EXPECTED = {"trainstep", "moe", "kvcache", "psfanin", "pingpong",
+            "allreduce"}
 
 
 def test_registry_holds_the_suite():
