@@ -72,6 +72,11 @@ def _critpath(argv: List[str]) -> int:
     return main(argv)
 
 
+def _fabrics(argv: List[str]) -> int:
+    from .fabrics.cli import main
+    return main(argv)
+
+
 #: name -> (loader, one-line description).  Loaders import lazily so
 #: ``python -m repro bench`` never pays for the telemetry stack and vice
 #: versa.
@@ -91,6 +96,8 @@ COMMANDS: Dict[str, Tuple[Callable[[List[str]], int], str]] = {
                               "x control modes, p50/p99/p999 vs SLOs"),
     "critpath": (_critpath, "causal critical paths per request: exact "
                             "blame, stragglers, 0% reconciliation"),
+    "fabrics": (_fabrics, "scale-out topologies: ring vs tree vs halving "
+                          "crossovers, credit congestion, canaries"),
 }
 
 

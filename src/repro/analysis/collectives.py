@@ -1,17 +1,20 @@
-"""Scaling analysis of the ring collectives (§VIII future-work direction).
+"""Scaling analysis of the N-node collectives (§VIII future-work direction).
 
 Two invariants tie the N-node collectives back to the paper's measured
 2-node primitives:
 
-* **step scaling** — ring all-reduce must complete in exactly ``2*(N-1)``
-  point-to-point steps per rank; all-gather in ``N-1``.  The counts are
-  *measured* (each rank counts its sends), not assumed.
-* **per-step cost** — one all-reduce step is a msglib message of the chunk
-  size: post a put, then detect arrival by polling device memory.  Its cost
-  must stay within a small factor of the 2-node ``dev2dev-pollOnGPU``
-  ping-pong one-way latency at the same size — the collectives add ring
-  pipelining and per-message msglib bookkeeping but no new mechanism, so a
-  large deviation would mean the N-node path costs something the 2-node
+* **step scaling** — every all-reduce schedule must complete in exactly
+  its closed-form step count per rank: ``2*(N-1)`` for the ring,
+  ``2*log2 N`` for recursive halving/doubling, ``log2 N`` sends for the
+  binomial tree (formulas shared with :mod:`repro.fabrics.collective`,
+  the canonical home of the schedule math).  The counts are *measured*
+  (each rank counts its sends), not assumed.
+* **per-step cost** — one all-reduce step is a msglib message: post a
+  put, then detect arrival by polling device memory.  Its cost must stay
+  within a small factor of the 2-node ``dev2dev-pollOnGPU`` ping-pong
+  one-way latency at the same size — the collectives add pipelining and
+  per-message msglib bookkeeping but no new mechanism, so a large
+  deviation would mean the N-node path costs something the 2-node
   analysis never measured.
 """
 
@@ -22,7 +25,30 @@ from typing import Dict, Sequence, Tuple
 
 from ..cluster import build_extoll_cluster
 from ..collectives import CollectiveMode, build_communicator, run_collective
+from ..collectives.bench import op_connectivity, op_max_payload
 from ..core import ExtollMode, run_extoll_pingpong, setup_extoll_connection
+from ..fabrics.collective import expected_phases, expected_steps
+
+#: analysis op name -> the schedule key ``expected_steps`` understands.
+_OP_ALGORITHM = {"all-reduce": "ring", "all-reduce-rh": "rh",
+                 "all-reduce-tree": "tree"}
+
+
+def step_message_bytes(algorithm: str, nodes: int, size: int) -> int:
+    """Mean payload bytes one phase moves — the size the 2-node baseline
+    ping-pong must run at for the per-step ratio to compare like with
+    like.  The ring moves one ``size``-byte chunk per step; the tree
+    moves the whole ``nodes * size`` vector every phase; halving/doubling
+    averages its shrinking-then-growing windows."""
+    if algorithm == "ring":
+        return size
+    vector_bytes = nodes * size
+    if algorithm == "tree":
+        return vector_bytes
+    # rh: per-rank total is 2*V*(N-1)/N bytes over 2*log2 N phases.
+    phases = expected_phases("rh", nodes)
+    mean = 2 * vector_bytes * (nodes - 1) // nodes // phases
+    return max(8, (mean + 7) // 8 * 8)
 
 #: Node counts the scaling run sweeps.
 SCALING_NODES = (2, 4, 8)
@@ -37,19 +63,34 @@ SCALING_SIZE = 64
 #: ratio sits above 1 without being allowed to run away.
 STEP_RATIO_BAND = (0.5, 3.0)
 
+#: Per-schedule bands.  The ring moves a fixed ``size``-byte chunk per
+#: step, so msglib's per-word staging stores are a small constant on top
+#: of the wire put.  The xor schedules move up-to-whole-vector payloads
+#: per phase: ``gpu_stage_send`` stores one device word per 8 payload
+#: bytes and puts the whole slot, a per-byte cost several times the raw
+#: put's wire slope — so their ratio to the (wire-slope-only) ping-pong
+#: baseline legitimately grows with N and needs the wider ceiling.
+STEP_RATIO_BANDS = {
+    "ring": STEP_RATIO_BAND,
+    "rh": (0.5, 4.0),
+    "tree": (0.5, 6.0),
+}
+
 
 @dataclass(frozen=True)
 class ScalingPoint:
-    """Ring all-reduce at one node count vs the 2-node baseline."""
+    """One all-reduce schedule at one node count vs the 2-node baseline."""
 
     nodes: int
     size: int
     steps: int                # measured sends per rank
-    expected_steps: int       # 2*(N-1)
+    expected_steps: int       # the schedule's closed form (see fabrics)
     latency: float            # one full all-reduce (seconds)
-    step_latency: float       # latency / steps
-    baseline_one_way: float   # 2-node ping-pong one-way latency (seconds)
+    step_latency: float       # latency / synchronous phase count
+    baseline_one_way: float   # 2-node ping-pong one-way latency at the
+                              # schedule's per-phase message size (seconds)
     correct: bool             # numerics checked against exact sums
+    algorithm: str = "ring"
 
     @property
     def step_ratio(self) -> float:
@@ -61,7 +102,7 @@ class ScalingPoint:
 
     @property
     def ratio_ok(self) -> bool:
-        lo, hi = STEP_RATIO_BAND
+        lo, hi = STEP_RATIO_BANDS.get(self.algorithm, STEP_RATIO_BAND)
         return lo <= self.step_ratio <= hi
 
     @property
@@ -83,21 +124,48 @@ def allreduce_scaling(node_counts: Sequence[int] = SCALING_NODES,
                       size: int = SCALING_SIZE,
                       mode: CollectiveMode = CollectiveMode.POLL_ON_GPU,
                       topology: str = "auto", iterations: int = 6,
-                      warmup: int = 2) -> Tuple[ScalingPoint, ...]:
-    """Measure ring all-reduce at every node count and pin each point to
-    the 2-node ping-pong baseline."""
-    baseline = pingpong_baseline(size, iterations=iterations, warmup=warmup)
+                      warmup: int = 2,
+                      algorithm: str = "ring") -> Tuple[ScalingPoint, ...]:
+    """Measure one all-reduce schedule at every node count and pin each
+    point to the 2-node ping-pong baseline.  ``algorithm`` selects the
+    schedule (``ring``/``rh``/``tree``) and with it the closed-form step
+    expectation imported from :mod:`repro.fabrics.collective` — the
+    parameterized version of the old hard-coded ``2*(N-1)``."""
+    op = {v: k for k, v in _OP_ALGORITHM.items()}.get(algorithm)
+    if op is None:
+        raise ValueError(f"unknown all-reduce algorithm {algorithm!r} "
+                         f"(choose from: "
+                         f"{', '.join(sorted(_OP_ALGORITHM.values()))})")
+    baselines: Dict[int, float] = {}
     points = []
     for nodes in node_counts:
-        cluster, comm = build_communicator(nodes, size, mode, topology)
-        result = run_collective(cluster, comm, "all-reduce", size,
+        # Baseline at the schedule's per-phase message size, cached by
+        # size (the ring's is N-independent, so its sweep measures once).
+        bas_size = step_message_bytes(algorithm, nodes, size)
+        if bas_size not in baselines:
+            baselines[bas_size] = pingpong_baseline(
+                bas_size, iterations=iterations, warmup=warmup)
+        # The xor-partner schedules exchange with distant ranks; on the
+        # default physical ring they would pay multi-hop relay latency
+        # the 2-node baseline never sees, so "auto" gives them the
+        # all-pairs fabric their channel layout assumes.
+        physical = topology
+        if topology == "auto" and op_connectivity(op) == "full":
+            physical = "full" if nodes > 2 else "auto"
+        cluster, comm = build_communicator(
+            nodes, size, mode, physical,
+            connectivity=op_connectivity(op),
+            max_payload=op_max_payload(op, nodes, size))
+        result = run_collective(cluster, comm, op, size,
                                 iterations=iterations, warmup=warmup)
+        phases = expected_phases(algorithm, nodes)
         points.append(ScalingPoint(
             nodes=nodes, size=size, steps=result.steps,
-            expected_steps=2 * (nodes - 1),
+            expected_steps=expected_steps(algorithm, nodes),
             latency=result.point.latency,
-            step_latency=result.point.latency / result.steps,
-            baseline_one_way=baseline, correct=result.correct))
+            step_latency=result.point.latency / phases,
+            baseline_one_way=baselines[bas_size], correct=result.correct,
+            algorithm=algorithm))
     return tuple(points)
 
 
@@ -113,8 +181,9 @@ def scaling_report(points: Sequence[ScalingPoint]) -> Dict[str, object]:
 
 
 def render_scaling(points: Sequence[ScalingPoint]) -> str:
-    title = (f"Ring all-reduce scaling ({points[0].size}B/step) vs 2-node "
-             f"ping-pong" if points else "Ring all-reduce scaling")
+    title = (f"{points[0].algorithm} all-reduce scaling "
+             f"({points[0].size}B/step) vs 2-node ping-pong"
+             if points else "All-reduce scaling")
     lines = [title, "=" * len(title)]
     lines.append("N".rjust(3) + "steps".rjust(8) + "expected".rjust(10)
                  + "latency".rjust(12) + "per-step".rjust(12)

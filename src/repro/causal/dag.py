@@ -31,11 +31,19 @@ from ..obs.tracer import FlowRecord
 from .events import KNOWN_KINDS
 
 #: Kinds whose only causal input is their actor's previous event.
+#: ``inj`` qualifies: a source-side credit stall (``hop.crd``) is emitted
+#: by the same rank actor, so program order already covers it.
 _ACTOR_ONLY = frozenset({"snd", "rcv", "crd", "stg", "cmp", "rank.end",
-                         "chain.fire", "chain.done"})
+                         "chain.fire", "chain.done", "inj"})
 
 #: Same-message ladder: kind -> the upstream kind of its wave twin.
 _LADDER = {"txr": "pst", "txd": "txr", "rxs": "txd", "dlv": "rxs"}
+
+#: Fabric-hop kinds chained per address in emission order: one message's
+#: multi-hop traversal (inj -> [hop.crd ->] hop -> ... -> eject).  Wave
+#: pairing cannot express this — several ``hop`` events share one address
+#: — so each address keeps its own ordered chain.
+_FABRIC_CHAIN = frozenset({"inj", "hop.crd", "hop", "eject"})
 
 
 def _key(ev: FlowRecord) -> Tuple[float, int]:
@@ -52,6 +60,8 @@ class CausalDag:
         self._actor_pos: Dict[int, int] = {}
         self._ladders: Dict[tuple, List[FlowRecord]] = {}
         self._wave: Dict[int, int] = {}
+        self._chains: Dict[object, List[FlowRecord]] = {}
+        self._chain_pos: Dict[int, int] = {}
         self._req_begin: Dict[int, FlowRecord] = {}
         self._req_end: Dict[int, FlowRecord] = {}
         self._rank_ends: Dict[int, List[FlowRecord]] = {}
@@ -66,6 +76,10 @@ class CausalDag:
                 ladder = self._ladders.setdefault((ev.addr, ev.kind), [])
                 self._wave[ev.seq] = len(ladder)
                 ladder.append(ev)
+                if ev.kind in _FABRIC_CHAIN:
+                    chain = self._chains.setdefault(ev.addr, [])
+                    self._chain_pos[ev.seq] = len(chain)
+                    chain.append(ev)
             if ev.kind == "req.begin":
                 self._req_begin[ev.attrs["req"]] = ev
             elif ev.kind == "req.end":
@@ -99,6 +113,18 @@ class CausalDag:
 
     def wave(self, ev: FlowRecord) -> Optional[int]:
         return self._wave.get(ev.seq)
+
+    def chain_pred(self, ev: FlowRecord) -> Optional[FlowRecord]:
+        """The previous fabric-hop event of ``ev``'s message, or None at
+        the head of the chain (the injection)."""
+        pos = self._chain_pos.get(ev.seq)
+        if pos is None or pos == 0:
+            return None
+        return self._chains[ev.addr][pos - 1]
+
+    def chain_last(self, addr) -> Optional[FlowRecord]:
+        chain = self._chains.get(addr)
+        return chain[-1] if chain else None
 
     def wave_pred(self, kind: str,
                   ev: FlowRecord) -> Optional[FlowRecord]:
@@ -137,8 +163,20 @@ class CausalDag:
                 cands = [self.actor_pred(ev), self.wave_pred("stg", ev)]
         elif kind in _LADDER:
             cands = [self.wave_pred(_LADDER[kind], ev)]
+        elif kind in ("hop", "eject"):
+            # Mid-chain fabric events: the relay that handed the packet
+            # over.  Never the switch actor's program order — that would
+            # walk into OTHER messages relayed by the same switch.
+            cands = [self.chain_pred(ev)]
+        elif kind == "hop.crd":
+            # A stalled credit gate mid-fabric chains to the previous hop;
+            # at the source (chain head) the emitting actor is the sending
+            # rank itself, whose program order is sound.
+            prev = self.chain_pred(ev)
+            cands = [prev] if prev is not None else [self.actor_pred(ev)]
         elif kind in ("rcd", "mrx"):
-            cands = [self.actor_pred(ev), self.wave_pred("dlv", ev)]
+            cands = [self.actor_pred(ev), self.wave_pred("dlv", ev),
+                     self.wave_pred("eject", ev)]
         elif kind == "snd.done":
             cands = [self.actor_pred(ev), self.wave_pred("txd", ev),
                      self.wave_pred("txr", ev)]

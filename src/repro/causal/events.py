@@ -38,6 +38,12 @@ KNOWN_KINDS = frozenset({
     "snd", "crd", "stg", "pst", "txr", "txd", "rxs", "dlv", "rcd", "mrx",
     "rcv", "snd.done", "cmp", "rank.begin", "rank.end", "req.begin",
     "req.end", "chain.fire", "chain.done",
+    # Fabric-hop vocabulary (repro.fabrics): one message's multi-hop
+    # traversal, chained per-address in emission order.
+    "inj",        # injected: source serialization finished  (rank actor)
+    "hop.crd",    # a hop's credit gate granted after a stall (link actor)
+    "hop",        # store-and-forward relay left a switch     (fab.s{id})
+    "eject",      # drained off the fabric at the destination (n{id}.fab)
 })
 
 #: Report order of the blame partition (PR 4's six phases first).
@@ -78,6 +84,10 @@ def categorize(pred, ev) -> str:
         return "data-dma"                # descriptor fetch + payload read
     if kind in ("txd", "rxs"):
         return "wire"
+    if kind in ("inj", "hop", "eject"):
+        return "wire"                    # fabric traversal segments
+    if kind == "hop.crd":
+        return "blocked-on-credit"       # only emitted after a real stall
     if kind == "dlv":
         return "data-dma"                # completer write to dst memory
     if kind in ("rcd", "mrx"):
@@ -92,9 +102,11 @@ def categorize(pred, ev) -> str:
 
 def edge_kind(pred, ev) -> str:
     """Classify the DAG edge ``pred -> ev`` for the waterfall report."""
-    if ev.kind in ("rcd", "mrx") and pred.kind == "dlv":
+    if ev.kind in ("rcd", "mrx") and pred.kind in ("dlv", "eject"):
         return "blocked-on-remote"       # cross-node join: rank waited
     if ev.kind == "crd" and ev.attrs.get("gated"):
+        return "blocked-on-credit"
+    if ev.kind == "hop.crd":
         return "blocked-on-credit"
     if ev.kind == "pst" and ev.attrs.get("via") == "chain" \
             and ev.attrs.get("wait_hint"):

@@ -1,12 +1,14 @@
-"""Ring collective algorithms over :class:`~repro.collectives.comm.RankComm`.
+"""Collective algorithms over :class:`~repro.collectives.comm.RankComm`.
 
 Every algorithm is a generator that runs identically as device code (a
 ``ThreadCtx``) or host code (a ``HostThread``) — the mode-specific put/get
 mechanics live entirely behind ``rc.send``/``rc.recv``/``rc.compute``.
-All of them only talk to ring neighbors, and all return
-``(result, steps)`` where ``steps`` counts the point-to-point messages THIS
-rank sent — the quantity the scaling analysis checks (ring all-reduce must
-measure exactly ``2*(N-1)`` steps per rank).
+The ring schedules only talk to ring neighbors; the recursive-halving and
+binomial-tree all-reduces exchange with ``rank ^ dist`` partners and need
+``connectivity="full"``.  All return ``(result, steps)`` where ``steps``
+counts the point-to-point messages THIS rank sent — the quantity the
+scaling analysis checks against each schedule's closed form (``2*(N-1)``
+for the ring, ``2*log2 N`` for halving, ``log2 N`` for the tree).
 
 Deadlock freedom: sends are buffered (the msglib slot ring gives ``slots``
 messages of credit per direction), so the uniform send-before-recv order
@@ -155,6 +157,112 @@ def ring_all_reduce(ctx, rc, values: List[float],
         chunks[recv_idx] = _unpack((yield from rc.recv(ctx, rc.prev)))
         steps += 1
     return [v for chunk in chunks for v in chunk], steps
+
+
+def rh_all_reduce(ctx, rc, values: List[float],
+                  op: str = "sum") -> Tuple[List[float], int]:
+    """Recursive-halving reduce-scatter + recursive-doubling allgather.
+
+    ``2*log2(N)`` phases of pairwise exchanges with partner ``rank ^
+    dist``; message size halves during the scatter and doubles back
+    during the gather, so total bytes match the ring while the phase
+    count drops from ``2(N-1)`` to logarithmic.  Needs a power-of-two
+    rank count and all-pairs connectivity (``connectivity="full"``).
+
+    The combiner is applied as ``op(owned, incoming)`` in a fixed window
+    order, so the result is bit-exact against :func:`ring_all_reduce`
+    for integer-valued inputs.
+    """
+    combine = resolve_reduce_op(op)
+    n = rc.size
+    if n & (n - 1):
+        raise BenchmarkError(
+            f"recursive halving needs a power-of-two rank count, got {n}")
+    if not values or len(values) % n:
+        raise BenchmarkError(
+            f"all-reduce vector length {len(values)} must be a positive "
+            f"multiple of the {n} ranks")
+    out = list(values)
+    steps = 0
+    lo, hi = 0, len(out)                # this rank's active window
+    dist = n // 2
+    while dist >= 1:                    # reduce-scatter, halving
+        partner = rc.rank ^ dist
+        mid = (lo + hi) // 2
+        if rc.rank & dist:              # I keep the upper half
+            send_lo, send_hi, keep_lo, keep_hi = lo, mid, mid, hi
+        else:
+            send_lo, send_hi, keep_lo, keep_hi = mid, hi, lo, mid
+        yield from rc.send(ctx, partner, _pack(out[send_lo:send_hi]))
+        steps += 1
+        incoming = _unpack((yield from rc.recv(ctx, partner)))
+        yield from rc.compute(ctx, 2 * len(incoming))
+        for i, v in enumerate(incoming):
+            out[keep_lo + i] = combine(out[keep_lo + i], v)
+        lo, hi = keep_lo, keep_hi
+        dist //= 2
+    dist = 1
+    while dist < n:                     # allgather, doubling (mirror)
+        partner = rc.rank ^ dist
+        yield from rc.send(ctx, partner, _pack(out[lo:hi]))
+        steps += 1
+        incoming = _unpack((yield from rc.recv(ctx, partner)))
+        if rc.rank & dist:              # partner held the half below mine
+            out[2 * lo - hi:lo] = incoming
+            lo = 2 * lo - hi
+        else:
+            out[hi:2 * hi - lo] = incoming
+            hi = 2 * hi - lo
+        dist *= 2
+    return out, steps
+
+
+def tree_all_reduce(ctx, rc, values: List[float],
+                    op: str = "sum") -> Tuple[List[float], int]:
+    """Binomial-tree reduce to rank 0 plus binomial broadcast back.
+
+    ``2*ceil(log2 N)`` phases of full-vector messages; at most
+    ``ceil(log2 N)`` sends per rank.  Latency-optimal for small vectors
+    (the crossover the fabric sweep measures against the ring).  Needs
+    all-pairs connectivity; any rank count works.
+    """
+    combine = resolve_reduce_op(op)
+    n = rc.size
+    if not values:
+        raise BenchmarkError("all-reduce needs a non-empty vector")
+    out = list(values)
+    steps = 0
+    mask = 1
+    while mask < n:                     # reduce toward rank 0
+        if rc.rank & mask:
+            yield from rc.send(ctx, rc.rank ^ mask, _pack(out))
+            steps += 1
+            break                       # my subtree went up; wait for bcast
+        src = rc.rank | mask
+        if src < n:
+            incoming = _unpack((yield from rc.recv(ctx, src)))
+            yield from rc.compute(ctx, 2 * len(incoming))
+            for i, v in enumerate(incoming):
+                out[i] = combine(out[i], v)
+        mask <<= 1
+    # broadcast back down: receive from the parent (the lowest set bit),
+    # then feed children below that bit, widest subtree first.
+    recv_mask = rc.rank & -rc.rank if rc.rank else 0
+    if rc.rank != 0:
+        out = _unpack((yield from rc.recv(ctx, rc.rank ^ recv_mask)))
+    m = recv_mask >> 1
+    if rc.rank == 0:
+        m = 1
+        while m < n:
+            m <<= 1
+        m >>= 1
+    while m >= 1:
+        child = rc.rank | m
+        if child < n and child != rc.rank:
+            yield from rc.send(ctx, child, _pack(out))
+            steps += 1
+        m >>= 1
+    return out, steps
 
 
 def halo_exchange(ctx, rc, interior: bytes, halo_bytes: int,

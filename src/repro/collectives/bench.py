@@ -28,11 +28,32 @@ from ..cluster import Cluster, build_extoll_cluster
 from ..errors import BenchmarkError
 from ..core.results import BandwidthPoint, LatencyPoint
 from ..sim import NULL_SPAN, Simulator
-from .algorithms import all_gather, barrier, broadcast, halo_exchange, ring_all_reduce
+from .algorithms import (all_gather, barrier, broadcast, halo_exchange,
+                         rh_all_reduce, ring_all_reduce, tree_all_reduce)
 from .comm import CollectiveMode, Communicator
 
 #: Operations understood by :func:`run_collective` and the CLI.
-OPS = ("barrier", "broadcast", "all-gather", "all-reduce", "halo")
+OPS = ("barrier", "broadcast", "all-gather", "all-reduce", "all-reduce-rh",
+       "all-reduce-tree", "halo")
+
+#: Ops exchanging with ``rank ^ dist`` partners: need all-pairs channels.
+FULL_CONNECTIVITY_OPS = ("all-reduce-rh", "all-reduce-tree")
+
+
+def op_connectivity(op: str) -> str:
+    return "full" if op in FULL_CONNECTIVITY_OPS else "ring"
+
+
+def op_max_payload(op: str, nodes: int, size: int) -> int:
+    """Largest single message ``op`` sends, for slot sizing.  The ring
+    schedules move one ``size``-byte chunk per step; recursive halving's
+    first exchange is half the ``nodes * size`` vector; the tree moves
+    the whole vector."""
+    if op == "all-reduce-rh":
+        return max(size, nodes * size // 2)
+    if op == "all-reduce-tree":
+        return nodes * size
+    return size
 
 #: The barrier circulates a fixed 8-byte token regardless of ``--size``.
 _TOKEN_BYTES = 8
@@ -87,19 +108,22 @@ def build_communicator(num_nodes: int, size: int,
                        reliable: bool = False,
                        reliability_config=None,
                        connectivity: str = "ring",
+                       max_payload: Optional[int] = None,
                        ) -> Tuple[Cluster, Communicator]:
     """An EXTOLL cluster plus a communicator whose slots fit ``size``-byte
     payloads.  ``reliable`` arms the retransmission engines of
     :mod:`repro.faults` on every channel (required to survive an attached
     :class:`~repro.faults.FaultPlan`); ``connectivity="full"`` wires every
-    rank pair instead of the ring edges."""
+    rank pair instead of the ring edges; ``max_payload`` widens the slots
+    beyond ``size`` for schedules whose messages grow with N (see
+    :func:`op_max_payload`)."""
     if size < 8 or size % 8:
         raise BenchmarkError(
             f"collective payload size must be a positive multiple of 8, "
             f"got {size}")
     cluster = build_extoll_cluster(sim=sim, num_nodes=num_nodes,
                                    topology=topology)
-    slot_size = max(64, _round8(size) + 8)
+    slot_size = max(64, _round8(max_payload or size) + 8)
     comm = Communicator(cluster, mode, slot_size=slot_size, slots=slots,
                         reliable=reliable,
                         reliability_config=reliability_config,
@@ -120,6 +144,12 @@ def _run_one(ctx, rc, op: str, size: int):
     if op == "all-reduce":
         return (yield from ring_all_reduce(ctx, rc,
                                            vector(rc.rank, rc.size, size)))
+    if op == "all-reduce-rh":
+        return (yield from rh_all_reduce(ctx, rc,
+                                         vector(rc.rank, rc.size, size)))
+    if op == "all-reduce-tree":
+        return (yield from tree_all_reduce(ctx, rc,
+                                           vector(rc.rank, rc.size, size)))
     if op == "halo":
         return (yield from halo_exchange(ctx, rc,
                                          pattern(rc.rank, 2 * size), size))
@@ -139,7 +169,7 @@ def _verify(op: str, nodes: int, size: int, finals: Dict[int, object]) -> bool:
     if op == "all-gather":
         expected = [pattern(k, size) for k in range(nodes)]
         return all(finals[r] == expected for r in range(nodes))
-    if op == "all-reduce":
+    if op in ("all-reduce", "all-reduce-rh", "all-reduce-tree"):
         vectors = [vector(r, nodes, size) for r in range(nodes)]
         expected = [sum(col) for col in zip(*vectors)]
         # Small integers summed in float64: equality is exact, but the
@@ -197,11 +227,23 @@ def run_collective(cluster: Cluster, comm: Communicator, op: str, size: int,
     cluster.sim.run_until_complete(*handles,
                                    limit=cluster.sim.now + 600.0)
     bench.end()
+    # A rank body that raised (e.g. a message overflowing its slot)
+    # completes its handle as failed without unwinding the simulator —
+    # surface it instead of reporting a half-empty measurement.
+    for handle in handles:
+        if not handle.ok:
+            raise BenchmarkError(
+                f"collective rank body failed: {handle.value!r}")
 
     elapsed = timing.end - timing.start
     point = LatencyPoint(size=size, latency=elapsed / iterations)
     msg_bytes = _TOKEN_BYTES if op == "barrier" else size
-    moved = sum(steps_seen.values()) * msg_bytes * iterations
+    if op in FULL_CONNECTIVITY_OPS:
+        # Variable message sizes; both schedules move exactly
+        # 2*(N-1)*V total bytes per operation (V = the full vector).
+        moved = 2 * (comm.size - 1) * comm.size * size * iterations
+    else:
+        moved = sum(steps_seen.values()) * msg_bytes * iterations
     return CollectiveResult(
         op=op, mode=comm.mode.value, topology=cluster.topology,
         nodes=comm.size, size=size, iterations=iterations, point=point,
@@ -219,21 +261,23 @@ def sweep(ops, node_counts, sizes,
     for op in ops:
         for nodes in node_counts:
             for size in sizes:
-                cluster, comm = build_communicator(nodes, size, mode,
-                                                   topology)
+                cluster, comm = build_communicator(
+                    nodes, size, mode, topology,
+                    connectivity=op_connectivity(op),
+                    max_payload=op_max_payload(op, nodes, size))
                 yield run_collective(cluster, comm, op, size,
                                      iterations=iterations, warmup=warmup)
 
 
 def render_results(results) -> str:
     """A fixed-width table of CollectiveResults."""
-    header = ("op".ljust(12) + "mode".ljust(20) + "topo".ljust(8)
+    header = ("op".ljust(17) + "mode".ljust(20) + "topo".ljust(8)
               + "N".rjust(3) + "size".rjust(7) + "steps".rjust(7)
               + "latency".rjust(12) + "MB/s".rjust(10) + "  ok")
     lines = [header, "-" * len(header)]
     for r in results:
         lines.append(
-            r.op.ljust(12) + r.mode.ljust(20) + r.topology.ljust(8)
+            r.op.ljust(17) + r.mode.ljust(20) + r.topology.ljust(8)
             + f"{r.nodes}".rjust(3) + f"{r.size}".rjust(7)
             + f"{r.steps}".rjust(7) + f"{r.latency_us:10.3f}us"
             + f"{r.bandwidth.mb_per_s:10.1f}"

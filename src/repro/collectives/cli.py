@@ -32,7 +32,8 @@ from ..obs.export import (
     write_chrome_trace,
 )
 from ..sim import Simulator
-from .bench import OPS, build_communicator, render_results, run_collective, sweep
+from .bench import (OPS, build_communicator, op_connectivity,
+                    op_max_payload, render_results, run_collective, sweep)
 from .comm import CollectiveMode, collective_mode
 
 #: Reconciliation tolerance between traced phase time and reported latency.
@@ -70,7 +71,10 @@ def run_traced_collective(op: str, nodes: int, size: int,
     ``(tracer, result)``."""
     tracer = tracer or SpanTracer()
     sim = Simulator(tracer=tracer)
-    cluster, comm = build_communicator(nodes, size, mode, topology, sim=sim)
+    cluster, comm = build_communicator(
+        nodes, size, mode, topology, sim=sim,
+        connectivity=op_connectivity(op),
+        max_payload=op_max_payload(op, nodes, size))
     result = run_collective(cluster, comm, op, size,
                             iterations=iterations, warmup=warmup)
     return tracer, result

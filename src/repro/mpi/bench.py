@@ -65,6 +65,7 @@ class MpiAllreduceResult:
     bar_mmio: int
     correct: bool
     reconcile: Dict[str, object]
+    algorithm: str = "ring"
 
 
 def _build(num_nodes: int, seed: int, config: MpiConfig,
@@ -117,18 +118,47 @@ def run_mpi_pingpong(size: int, iterations: int = 8, warmup: int = 2,
         bar_mmio=_bar_mmio(delta))
 
 
+def allreduce_message_count(algorithm: str, nodes: int) -> int:
+    """Total fabric messages ONE all-reduce round injects, by schedule:
+    the chain-counter reconcile's expectation.  ``log2`` terms assume a
+    power-of-two N (enforced by :func:`~repro.mpi.collectives.iallreduce`
+    for ``rh``)."""
+    log = max(1, (nodes - 1).bit_length())
+    if algorithm == "ring":
+        return nodes * 2 * (nodes - 1)
+    if algorithm == "rh":
+        return nodes * 2 * log
+    if algorithm == "tree":
+        return 2 * (nodes - 1)          # N-1 up the tree, N-1 back down
+    raise MpiError(f"unknown all-reduce algorithm {algorithm!r}")
+
+
 def run_mpi_allreduce(nodes: int, size: int, iterations: int = 4,
                       warmup: int = 1, seed: int = 11,
                       tracer: Optional[SpanTracer] = None,
-                      reconcile_tolerance: float = 0.01) -> MpiAllreduceResult:
+                      reconcile_tolerance: float = 0.01,
+                      algorithm: str = "ring") -> MpiAllreduceResult:
     """Measured triggered-chain iallreduce rounds, with a three-way
     reconcile: NIC chain counters vs ``phase`` span totals vs the
-    LatencyPoint must agree to ``reconcile_tolerance``."""
+    LatencyPoint must agree to ``reconcile_tolerance``.  ``algorithm``
+    picks the staged schedule (``ring``/``rh``/``tree``); the non-ring
+    schedules exchange with ``rank ^ dist`` partners and so wire
+    all-pairs connectivity with slots sized for their largest message."""
     if nodes < 2 or size < 8 or size % 8:
         raise MpiError("need nodes >= 2 and a size that is a multiple of 8")
-    slot = max(512, size + 64)
+    # Largest single message: one chunk for the ring, half/whole vector
+    # for halving/tree.
+    if algorithm == "tree":
+        max_msg = nodes * size
+    elif algorithm == "rh":
+        max_msg = max(size, nodes * size // 2)
+    else:
+        max_msg = size
+    slot = max(512, max_msg + 64)
+    connectivity = ("full" if algorithm != "ring" or nodes == 2
+                    else "ring")
     config = MpiConfig(eager_threshold=slot - 64, slot_size=slot,
-                       connectivity="ring" if nodes > 2 else "full")
+                       connectivity=connectivity)
     comm = _build(nodes, seed, config, tracer)
     trc = comm.sim.tracer
     vectors = [vector(r, nodes, size) for r in range(nodes)]
@@ -143,7 +173,8 @@ def run_mpi_allreduce(nodes: int, size: int, iterations: int = 4,
             start = comm.sim.now
         span = (trc.begin("phase", "iallreduce", track="mpi", iter=i)
                 if trc.enabled and measured else NULL_SPAN)
-        reqs = [iallreduce(comm, rank, vectors[rank.rank])
+        reqs = [iallreduce(comm, rank, vectors[rank.rank],
+                           algorithm=algorithm)
                 for rank in comm.ranks]
         comm.wait(*reqs, limit=_LIMIT)
         span.end()
@@ -161,7 +192,8 @@ def run_mpi_allreduce(nodes: int, size: int, iterations: int = 4,
 
     # Three-way reconcile: chains the units say fired vs the chain count
     # the schedule implies, and traced span time vs the timed elapsed.
-    expected_chains = nodes * 2 * (nodes - 1) * (iterations + warmup)
+    expected_chains = (allreduce_message_count(algorithm, nodes)
+                       * (iterations + warmup))
     chain_err = (abs(delta["chains_fired"] - expected_chains)
                  / expected_chains)
     reconcile: Dict[str, object] = {
@@ -184,7 +216,8 @@ def run_mpi_allreduce(nodes: int, size: int, iterations: int = 4,
         nodes=nodes, size=size, iterations=iterations, point=point,
         chains_fired=delta["chains_fired"],
         descriptors_fired=delta["descriptors_fired"],
-        bar_mmio=_bar_mmio(delta), correct=correct, reconcile=reconcile)
+        bar_mmio=_bar_mmio(delta), correct=correct, reconcile=reconcile,
+        algorithm=algorithm)
 
 
 def run_mode_allreduce_mmio(mode: CollectiveMode, nodes: int, size: int,

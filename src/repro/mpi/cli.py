@@ -42,6 +42,11 @@ def main(argv=None) -> int:
                              "(default: 256)")
     parser.add_argument("--iterations", type=int, default=4,
                         help="measured rounds (default: 4)")
+    parser.add_argument("--algorithm", default="ring",
+                        choices=("ring", "rh", "tree"),
+                        help="iallreduce schedule: ring 2(N-1), recursive "
+                             "halving 2*log2 N, binomial tree "
+                             "(default: ring)")
     parser.add_argument("--quick", action="store_true",
                         help="small run for CI (2 nodes, 2 iterations)")
     parser.add_argument("--seed", type=int, default=11,
@@ -68,7 +73,8 @@ def main(argv=None) -> int:
 
     tracer = SpanTracer()
     ar = run_mpi_allreduce(nodes, size, iterations=iterations,
-                           seed=args.seed, tracer=tracer)
+                           seed=args.seed, tracer=tracer,
+                           algorithm=args.algorithm)
     if args.out:
         write_chrome_trace(tracer, args.out)
     modes = [run_mode_allreduce_mmio(mode, nodes, size,
@@ -110,6 +116,7 @@ def main(argv=None) -> int:
                 "rndv_sent": p.rndv_sent, "bar_mmio": p.bar_mmio,
             } for p in pp],
             "iallreduce": {
+                "algorithm": ar.algorithm,
                 "latency_us": ar.point.latency_us,
                 "chains_fired": ar.chains_fired,
                 "descriptors_fired": ar.descriptors_fired,

@@ -114,40 +114,59 @@ def ibcast(comm: MpiCommunicator, rank: MpiRank,
     return req
 
 
-def iallreduce(comm: MpiCommunicator, rank: MpiRank,
-               values: List[float], op: str = "sum") -> MpiRequest:
-    """Ring all-reduce of a float64 vector; ``req.data`` holds the packed
-    result (``struct '<{n}d'``, same as PR 2's collectives).
+#: The all-reduce schedules :func:`iallreduce` can stage.
+ALLREDUCE_ALGORITHMS = ("ring", "rh", "tree")
 
-    The schedule is ``ring_all_reduce``'s, verbatim: a reduce-scatter pass
-    then an all-gather pass, ``2*(N-1)`` steps, with the reduction (any
-    ``op`` from :data:`~repro.collectives.algorithms.REDUCE_OPS` —
-    ``sum``/``max``/``min``/``prod``) applied in the identical
-    ``op(owned, incoming)`` association order — which is what makes the
-    result bit-exact against the PR 2 path for every op.
+
+def iallreduce(comm: MpiCommunicator, rank: MpiRank,
+               values: List[float], op: str = "sum",
+               algorithm: str = "ring") -> MpiRequest:
+    """Nonblocking all-reduce of a float64 vector; ``req.data`` holds the
+    packed result (``struct '<{n}d'``, same as PR 2's collectives).
+
+    ``algorithm`` picks the chain DAG that gets staged:
+
+    * ``"ring"`` — ``ring_all_reduce``'s schedule verbatim: reduce-scatter
+      then all-gather, ``2*(N-1)`` steps;
+    * ``"rh"`` — recursive halving/doubling, ``2*log2 N`` pairwise
+      exchange phases (power-of-two N);
+    * ``"tree"`` — binomial reduce to rank 0 + binomial broadcast,
+      ``2*ceil(log2 N)`` phases of full-vector messages.
+
+    All three apply the reduction (any ``op`` from
+    :data:`~repro.collectives.algorithms.REDUCE_OPS`) in the identical
+    ``op(owned, incoming)`` association order as their PR 2 counterparts,
+    so results are bit-exact across layers AND across algorithms for
+    integer-valued inputs.
+
+    Rendezvous deadlock avoidance is uniform: a send only finishes once
+    the peer's matching receive produced the CTS, so every schedule posts
+    its ``isend`` without waiting, blocks on the ``irecv``, and drains
+    the send requests at the end.
     """
     n = rank.size
     if op not in REDUCE_OPS:
         raise MpiError(f"unknown reduction op {op!r} (choose from: "
                        f"{', '.join(sorted(REDUCE_OPS))})")
+    if algorithm not in ALLREDUCE_ALGORITHMS:
+        raise MpiError(f"unknown all-reduce algorithm {algorithm!r} "
+                       f"(choose from: {', '.join(ALLREDUCE_ALGORITHMS)})")
     combine = REDUCE_OPS[op]
     if not values or len(values) % n:
         raise MpiError(
             f"all-reduce vector length {len(values)} must be a positive "
             f"multiple of the {n} ranks")
+    if algorithm == "rh" and n & (n - 1):
+        raise MpiError(f"recursive halving needs a power-of-two rank "
+                       f"count, got {n}")
     tag = _coll_tag(rank)
     req = MpiRequest(comm.sim, "allreduce", rank.rank)
     chunk_len = len(values) // n
     per_instr = rank.node.gpu.config.instruction_time
 
-    def body():
+    def ring_body():
         chunks = [list(values[i * chunk_len:(i + 1) * chunk_len])
                   for i in range(n)]
-        # Sends are issued WITHOUT waiting on their completion: a rendezvous
-        # send only finishes once the peer's matching receive produced the
-        # CTS, so send-then-wait-then-recv would deadlock the symmetric
-        # ring.  Post the send, block on the receive, drain sends at the
-        # end.
         sends = []
         for s in range(n - 1):
             send_idx = (rank.rank - s) % n
@@ -170,5 +189,77 @@ def iallreduce(comm: MpiCommunicator, rank: MpiRank,
             yield sreq
         return _pack([v for chunk in chunks for v in chunk])
 
-    _pump(comm, body(), req)
+    def rh_body():
+        out = list(values)
+        sends = []
+        lo, hi = 0, len(out)            # this rank's active window
+        dist = n // 2
+        while dist >= 1:                # reduce-scatter, halving
+            partner = rank.rank ^ dist
+            mid = (lo + hi) // 2
+            if rank.rank & dist:        # I keep the upper half
+                send_lo, send_hi, keep_lo, keep_hi = lo, mid, mid, hi
+            else:
+                send_lo, send_hi, keep_lo, keep_hi = mid, hi, lo, mid
+            sends.append(rank.isend(partner, _pack(out[send_lo:send_hi]),
+                                    tag=tag))
+            incoming = _unpack((yield rank.irecv(source=partner, tag=tag)))
+            yield 2 * len(incoming) * per_instr
+            for i, v in enumerate(incoming):
+                out[keep_lo + i] = combine(out[keep_lo + i], v)
+            lo, hi = keep_lo, keep_hi
+            dist //= 2
+        dist = 1
+        while dist < n:                 # allgather, doubling (mirror)
+            partner = rank.rank ^ dist
+            sends.append(rank.isend(partner, _pack(out[lo:hi]), tag=tag))
+            incoming = _unpack((yield rank.irecv(source=partner, tag=tag)))
+            if rank.rank & dist:        # partner held the half below mine
+                out[2 * lo - hi:lo] = incoming
+                lo = 2 * lo - hi
+            else:
+                out[hi:2 * hi - lo] = incoming
+                hi = 2 * hi - lo
+            dist *= 2
+        for sreq in sends:
+            yield sreq
+        return _pack(out)
+
+    def tree_body():
+        out = list(values)
+        sends = []
+        mask = 1
+        while mask < n:                 # binomial reduce toward rank 0
+            if rank.rank & mask:
+                sends.append(rank.isend(rank.rank ^ mask, _pack(out),
+                                        tag=tag))
+                break                   # my subtree went up; wait for bcast
+            src = rank.rank | mask
+            if src < n:
+                incoming = _unpack((yield rank.irecv(source=src, tag=tag)))
+                yield 2 * len(incoming) * per_instr
+                for i, v in enumerate(incoming):
+                    out[i] = combine(out[i], v)
+            mask <<= 1
+        recv_mask = rank.rank & -rank.rank if rank.rank else 0
+        if rank.rank != 0:
+            out = _unpack((yield rank.irecv(source=rank.rank ^ recv_mask,
+                                            tag=tag)))
+        m = recv_mask >> 1
+        if rank.rank == 0:
+            m = 1
+            while m < n:
+                m <<= 1
+            m >>= 1
+        while m >= 1:                   # broadcast down, widest subtree first
+            child = rank.rank | m
+            if child < n and child != rank.rank:
+                sends.append(rank.isend(child, _pack(out), tag=tag))
+            m >>= 1
+        for sreq in sends:
+            yield sreq
+        return _pack(out)
+
+    bodies = {"ring": ring_body, "rh": rh_body, "tree": tree_body}
+    _pump(comm, bodies[algorithm](), req)
     return req

@@ -1,13 +1,15 @@
 """Network model: packets, in-order links, N-node routed fabric."""
 
 from .fabric import Endpoint, NetworkFabric, RouterEndpoint
-from .link import NetLink, NetLinkConfig
+from .link import FORWARD_TIME, FlowState, NetLink, NetLinkConfig
 from .packet import Packet, PacketKind
 
 __all__ = [
     "Endpoint",
     "NetworkFabric",
     "RouterEndpoint",
+    "FORWARD_TIME",
+    "FlowState",
     "NetLink",
     "NetLinkConfig",
     "Packet",

@@ -17,13 +17,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import NetworkError
 from ..sim import Simulator, Store
-from ..units import NS
-from .link import NetLink, NetLinkConfig
+from .link import FORWARD_TIME, NetLink, NetLinkConfig
 from .packet import Packet
 
-#: Per-hop relay cost of a store-and-forward node (header decode + route
-#: lookup + buffer hand-off), paid on top of the next link's serialization.
-FORWARD_TIME = 120 * NS
+__all__ = ["FORWARD_TIME", "Endpoint", "RouterEndpoint", "NetworkFabric"]
 
 
 class Endpoint:
@@ -35,6 +32,11 @@ class Endpoint:
         self.side = side
         self.node_id = node_id
         self.peer_id = peer_id
+        # When the link runs credit flow control, a plain endpoint returns
+        # the credit as soon as its consumer drains the inbox; a router
+        # flips this off and releases manually AFTER relaying, so a full
+        # switch buffer backpressures the upstream hop.
+        self.auto_credit = True
 
     def send(self, packet: Packet):
         """Process fragment: transmit a packet toward the peer."""
@@ -49,7 +51,24 @@ class Endpoint:
 
     def recv(self):
         """Event: the next packet addressed to this endpoint."""
-        return self.inbox.get()
+        ev = self.inbox.get()
+        if self.link.flow is not None and self.auto_credit:
+            side = self.side
+            link = self.link
+
+            def _release(e, _side=side, _link=link):
+                if e.ok:
+                    _link.release_credit(_side, e.value)
+
+            ev.add_callback(_release)
+        return ev
+
+    def credit_release(self, packet: Packet, vc: Optional[int] = None) -> None:
+        """Manually return the credit ``packet`` held on its way in (used
+        by routers, which disable ``auto_credit``).  ``vc`` is the arrival
+        VC, captured before any re-stamping for the next hop."""
+        if self.link.flow is not None and not self.auto_credit:
+            self.link.release_credit(self.side, packet, vc)
 
 
 class RouterEndpoint:
@@ -60,18 +79,26 @@ class RouterEndpoint:
 
     * a routing table mapping destination node id -> first-hop link endpoint,
     * one pump process per member link that sorts arrivals: packets for this
-      node land in the unified ``inbox``; transit packets are relayed onto
-      the next hop after a store-and-forward delay.
+      node land in the unified ``inbox``; transit packets are handed to a
+      per-virtual-channel relay worker that forwards them onto the next hop
+      after a store-and-forward delay.
 
-    Per-link in-order delivery is preserved (each pump forwards serially);
-    packets that take different paths may interleave, exactly like a real
-    multi-path fabric.
+    Per-(link, VC) in-order delivery is preserved (each relay worker
+    forwards serially); packets on different VCs or paths may interleave,
+    exactly like a real multi-path fabric.  The per-VC workers are what
+    makes dateline VC schemes sound: a packet blocked on a congested
+    output holds only its own VC's queue, so escape-VC traffic on the same
+    input link keeps moving instead of deadlocking behind it.
     """
 
     def __init__(self, sim: Simulator, node_id: int,
-                 forward_time: float = FORWARD_TIME) -> None:
+                 forward_time: Optional[float] = FORWARD_TIME) -> None:
         self.sim = sim
         self.node_id = node_id
+        #: Per-node override of the relay cost; ``None`` defers to each
+        #: outgoing link's ``config.forward_time``, letting switch classes
+        #: (core vs leaf) carry different costs.  The default keeps the
+        #: historical uniform 120 ns.
         self.forward_time = forward_time
         self.inbox: Store = Store(sim, name=f"router{node_id}.inbox")
         self._links: Dict[int, Endpoint] = {}     # peer id -> link endpoint
@@ -84,6 +111,7 @@ class RouterEndpoint:
         if endpoint.peer_id in self._links:
             raise NetworkError(
                 f"router {self.node_id} already attached to {endpoint.peer_id}")
+        endpoint.auto_credit = False    # routers release after relaying
         self._links[endpoint.peer_id] = endpoint
         self.sim.process(self._pump(endpoint),
                          name=f"router{self.node_id}.rx{endpoint.peer_id}")
@@ -108,34 +136,80 @@ class RouterEndpoint:
         return sorted(self._links)
 
     # -- NIC-facing surface ----------------------------------------------------------
+    def route(self, packet: Packet) -> Endpoint:
+        """The outgoing endpoint for ``packet`` — the per-packet routing
+        hook.  The base class does static table lookup by destination;
+        policy routers (:mod:`repro.fabrics.routing`) override this to
+        pick per-packet adaptive routes and stamp VCs."""
+        return self.next_hop(packet.dst_node)
+
     def send(self, packet: Packet):
         """Process fragment: transmit toward ``packet.dst_node`` on the
         routed first hop."""
-        return self.next_hop(packet.dst_node).send(packet)
+        return self.route(packet).send(packet)
 
     def recv(self):
         """Event: the next packet terminating at this node."""
         return self.inbox.get()
 
+    def relay_cost(self, out: Endpoint) -> float:
+        return (self.forward_time if self.forward_time is not None
+                else out.link.config.forward_time)
+
     # -- relaying ----------------------------------------------------------------
     def _pump(self, endpoint: Endpoint):
-        trc = self.sim.tracer
+        # Demux arrivals: ejections terminate here; transit packets queue
+        # on their arrival VC's relay worker (spawned lazily, so links
+        # that never see a second VC never pay for one).
+        queues: Dict[int, Store] = {}
         while True:
             packet = yield endpoint.recv()
             if packet.dst_node == self.node_id:
                 self.packets_terminated += 1
                 yield self.inbox.put(packet)
+                endpoint.credit_release(packet)
                 continue
+            vc = packet.meta.get("vc", 0)
+            queue = queues.get(vc)
+            if queue is None:
+                queue = Store(self.sim,
+                              name=f"router{self.node_id}"
+                                   f".rx{endpoint.peer_id}.vc{vc}")
+                queues[vc] = queue
+                self.sim.process(
+                    self._relay(endpoint, queue, vc),
+                    name=f"router{self.node_id}.fwd{endpoint.peer_id}"
+                         f".vc{vc}")
+            yield queue.put(packet)
+
+    def _relay(self, endpoint: Endpoint, queue: Store, vc: int):
+        trc = self.sim.tracer
+        actor = f"fab.s{self.node_id}"
+        while True:
+            packet = yield queue.get()
             # Store-and-forward relay: decode + route, then pay the next
-            # link's serialization.  The pump blocks until the packet has
-            # left, preserving per-input-link order.
+            # link's serialization.  The worker blocks until the packet
+            # has left, preserving per-(input-link, VC) order — a blocked
+            # head packet never stalls the other VCs of this link, which
+            # is what lets a dateline VC scheme actually break deadlock
+            # cycles.
             self.packets_forwarded += 1
             if trc.enabled:
                 trc.instant("net", "forward", track=f"router{self.node_id}",
                             seq=packet.seq, dst=packet.dst_node)
                 trc.metrics.counter(f"net.router{self.node_id}.forwards").inc()
-            yield self.sim.timeout(self.forward_time)
-            yield from self.next_hop(packet.dst_node).send(packet)
+            out = self.route(packet)    # re-stamps meta["vc"] for the next hop
+            yield self.sim.timeout(self.relay_cost(out))
+            yield from out.send(packet)
+            # Only now — the packet has fully left this hop — hand the
+            # input-link credit back, so a congested output propagates
+            # backpressure upstream.
+            endpoint.credit_release(packet, vc)
+            if trc.enabled and trc.wants("causal"):
+                caddr = packet.meta.get("caddr")
+                if caddr is not None:
+                    trc.flow_event("hop", actor, addr=caddr,
+                                   via=out.peer_id)
 
 
 class NetworkFabric:
@@ -206,14 +280,22 @@ class NetworkFabric:
 
     # -- N-node routing ------------------------------------------------------------
     def make_router(self, node_id: int,
-                    forward_time: float = FORWARD_TIME) -> RouterEndpoint:
-        """Bundle every link of ``node_id`` behind a routing endpoint."""
+                    forward_time: Optional[float] = FORWARD_TIME,
+                    factory=None) -> RouterEndpoint:
+        """Bundle every link of ``node_id`` behind a routing endpoint.
+
+        ``factory(sim, node_id, forward_time)`` may supply a
+        :class:`RouterEndpoint` subclass (policy routers).
+        """
         if node_id in self._routers:
             raise NetworkError(f"node {node_id} already has a router")
         peers = self.neighbors(node_id)
         if not peers:
             raise NetworkError(f"node {node_id} has no links to route over")
-        router = RouterEndpoint(self.sim, node_id, forward_time)
+        if factory is None:
+            router = RouterEndpoint(self.sim, node_id, forward_time)
+        else:
+            router = factory(self.sim, node_id, forward_time)
         for peer in peers:
             router.add_link(self._endpoints[(node_id, peer)])
         self._routers[node_id] = router

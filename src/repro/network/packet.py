@@ -30,6 +30,7 @@ class PacketKind(enum.Enum):
     IB_RDMA_READ_RSP = "ib_rdma_read_rsp"
     IB_SEND = "ib_send"
     IB_ACK = "ib_ack"
+    FABRIC = "fabric"                 # scale-out fabric message (repro.fabrics)
 
 
 _seq = itertools.count()

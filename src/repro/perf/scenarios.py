@@ -473,6 +473,98 @@ def workload_kvcache() -> ScenarioResult:
     return _workload_scenario("kvcache", ("hostControlled", "mpi"))
 
 
+# -- scale-out fabrics ------------------------------------------------------------
+
+@_register("fabric-allreduce",
+           "16-node fat-tree/torus all-reduce: ring vs rh vs tree, "
+           "bit-exact across schedules, step counts at closed form")
+def fabric_allreduce() -> ScenarioResult:
+    from ..fabrics import build_topology, instantiate
+    from ..fabrics.collective import expected_phases, expected_steps
+    from ..fabrics.collective import run_collective as run_fabric
+
+    res = ScenarioResult()
+    n, elems = 16, 4
+    for kind in ("fat-tree", "torus"):
+        digests = set()
+        times = {}
+        for algorithm in ("ring", "rh", "tree"):
+            sim = Simulator(seed=1)
+            inst = instantiate(sim, build_topology(kind, n))
+            r = run_fabric(inst, algorithm, elems_per_rank=elems,
+                           iterations=3)
+            digests.add(r.digest)
+            times[algorithm] = r.p50_time
+            res.metric(f"{kind}/{algorithm}/p50_us", r.p50_time * 1e6,
+                       unit="us")
+            res.metric(f"{kind}/{algorithm}/packets", r.packets,
+                       kind="count")
+            res.invariant(f"{kind}/{algorithm}/correct",
+                          (r.correct, "sums exact vs reference"))
+            res.invariant(
+                f"{kind}/{algorithm}/steps-exact",
+                (r.steps == expected_steps(algorithm, n)
+                 and r.phases == expected_phases(algorithm, n),
+                 f"steps {r.steps} (closed form "
+                 f"{expected_steps(algorithm, n)}), phases {r.phases} "
+                 f"(closed form {expected_phases(algorithm, n)})"))
+        res.invariant(f"{kind}/bit-exact-across-schedules",
+                      (len(digests) == 1,
+                       f"{len(digests)} distinct result digests across "
+                       f"ring/rh/tree"))
+        res.invariant(f"{kind}/log-schedules-beat-ring", inv.faster_than(
+            min(times["rh"], times["tree"]), times["ring"],
+            "best log-depth schedule p50", "ring p50"))
+    return res
+
+
+@_register("fabric-congestion",
+           "Credit backpressure: scarce-credit permutation stalls but "
+           "completes, credits-off is bit-identical, critpath blames "
+           "blocked-on-credit")
+def fabric_congestion() -> ScenarioResult:
+    from ..fabrics import build_topology, instantiate, run_permutation
+    from ..fabrics.collective import run_collective as run_fabric
+    from ..fabrics.sweep import SweepConfig, forced_congestion_blame
+    from ..fabrics.topology import FabricConfig
+
+    res = ScenarioResult()
+    n = 16
+    sim = Simulator(seed=1)
+    inst = instantiate(sim, build_topology("fat-tree", n),
+                       FabricConfig(credits=2))
+    t = run_permutation(inst, messages=6, payload=256, seed=1)
+    res.metric("permutation/stalls", t.stalls, kind="count")
+    res.metric("permutation/time_us", t.time * 1e6, unit="us")
+    res.invariant("permutation-completes",
+                  (t.completed and not t.deadlocked,
+                   f"{n}-host permutation at 2 credits: "
+                   f"completed={t.completed} deadlocked={t.deadlocked}"))
+    res.invariant("credits-actually-stall",
+                  (t.stalls > 0, f"{t.stalls} credit stalls at 2 credits"))
+
+    def ring_run(credits):
+        s = Simulator(seed=1)
+        i = instantiate(s, build_topology("torus", n),
+                        FabricConfig(credits=credits))
+        return run_fabric(i, "ring", elems_per_rank=4, iterations=3)
+
+    bare, generous = ring_run(None), ring_run(64)
+    res.invariant("zero-cost-bit-identical",
+                  (bare.times == generous.times
+                   and bare.digest == generous.digest,
+                   "credits disabled vs 64 credits: identical times and "
+                   "result digest"))
+    share = forced_congestion_blame(SweepConfig())
+    res.metric("blame/blocked_on_credit_pct", round(share * 100.0, 3),
+               unit="%")
+    res.invariant("critpath-blames-credit",
+                  (share > 0.0,
+                   f"blocked-on-credit holds {share * 100.0:.2f}% of the "
+                   f"congested ring's critical path"))
+    return res
+
+
 # -- MPI-shaped layer (triggered operations) -------------------------------------
 
 @_register("mpi-latency",

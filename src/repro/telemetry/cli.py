@@ -70,6 +70,14 @@ _PRESETS = {
         Objective("no link drops", "faults.drops", "total", "<=",
                   0.0, unit="drops", budget=0.0),
     ],
+    "fabrics": [
+        # Generous credits on the default run: stalls should be rare.
+        # --credits 1 floods this objective on purpose (breach demo).
+        Objective("fabric stall rate", "fabric.stalls", "rate", "<",
+                  1e6, unit="stall/s", budget=0.25),
+        Objective("fabric moves bytes", "fabric.bytes", "rate", ">",
+                  0.0, unit="B/s", budget=0.25),
+    ],
 }
 
 _FORCE_BREACH = Objective("forced breach (sim always makes progress)",
@@ -198,12 +206,39 @@ def _run_faults(args, sim: Simulator, plane: Optional[TelemetryPlane],
              "drops": point.drops, "correct": point.correct})
 
 
+def _run_fabrics(args, sim: Simulator, plane: Optional[TelemetryPlane],
+                 ) -> Tuple[str, dict]:
+    from ..fabrics import build_topology, instantiate
+    from ..fabrics.collective import run_collective as run_fabric_collective
+    from ..fabrics.topology import FabricConfig
+    # The fat-tree builder needs a power-of-two N >= 8; the generic
+    # --nodes default (and the --quick cap) sit below that.
+    topo = build_topology("fat-tree", max(8, args.nodes))
+    instance = instantiate(sim, topo,
+                           FabricConfig(credits=args.credits))
+    if plane is not None:
+        plane.watch_fabrics(instance)
+        plane.start()
+    result = run_fabric_collective(instance, "rh",
+                                   elems_per_rank=args.size // 8,
+                                   iterations=args.iterations)
+    stats = instance.flow_stats()
+    return (f"fabric rh all-reduce N={instance.n} fat-tree "
+            f"credits={args.credits}: {result.p50_time * 1e6:.3f}us/op, "
+            f"{stats['stalls']:.0f} credit stalls "
+            f"({'OK' if result.correct else 'WRONG RESULT'})",
+            {"p50_time": result.p50_time, "correct": result.correct,
+             "stalls": stats["stalls"],
+             "stall_time": stats["stall_time"]})
+
+
 _SCENARIOS = {
     "pingpong": _run_pingpong,
     "rate": _run_rate,
     "engine": _run_engine,
     "collectives": _run_collectives,
     "faults": _run_faults,
+    "fabrics": _run_fabrics,
 }
 
 
@@ -285,6 +320,10 @@ def main(argv=None) -> int:
                         help="collectives/faults cluster size")
     parser.add_argument("--loss", type=float, default=0.05,
                         help="faults scenario per-packet drop probability")
+    parser.add_argument("--credits", type=int, default=16,
+                        help="fabrics scenario per-link VC credits; 1 "
+                             "forces congestion (default: 16; fabrics "
+                             "needs a power-of-two --nodes)")
     parser.add_argument("--slo", action="append", metavar="SPEC",
                         help="extra objective, e.g. "
                              "'p99:span.rma.wr-put<10e-6' or "

@@ -105,6 +105,33 @@ class TelemetryPlane:
 
         self.watch_gauge("flow.in_flight", in_flight)
 
+    def watch_fabrics(self, instance) -> None:
+        """A scale-out fabric's congestion accounting (→ aggregate
+        ``fabric.stalls`` / ``fabric.stall_time`` / ``fabric.bytes``
+        series plus per-link ``fabric.link.{a}-{b}.bytes``, and a live
+        ``fabric.in_flight`` gauge of credits currently held).  The
+        counters come straight from every link's
+        :class:`~repro.network.link.FlowState`, so a rising
+        ``rate:fabric.stalls`` is credit backpressure, not a model
+        artifact — the SLO hook the ``fabrics`` monitor preset binds."""
+        links = sorted(instance.net.links().items())
+
+        def read() -> Dict[str, float]:
+            stats = instance.flow_stats()
+            out = {"fabric.stalls": float(stats["stalls"]),
+                   "fabric.stall_time": stats["stall_time"]}
+            total = 0.0
+            for (a, b), link in links:
+                sent = float(sum(link.bytes_sent))
+                out[f"fabric.link.{a}-{b}.bytes"] = sent
+                total += sent
+            out["fabric.bytes"] = total
+            return out
+
+        self.watch_counters("", read)
+        self.watch_gauge("fabric.in_flight",
+                         lambda: float(instance.flow_stats()["in_flight"]))
+
     def watch_fabric(self, fabric, bandwidth: Optional[float] = None) -> None:
         """Per-link wire-byte counters (→ ``link.{a}-{b}.bytes`` series);
         with ``bandwidth`` also a ``link.{a}-{b}.util`` gauge in [0, 1]."""

@@ -15,7 +15,8 @@ from repro.collectives import (
     run_collective,
 )
 from repro.collectives.algorithms import halo_exchange
-from repro.collectives.bench import OPS, pattern
+from repro.collectives.bench import (OPS, op_connectivity, op_max_payload,
+                                     pattern)
 from repro.errors import BenchmarkError
 
 FAST = dict(iterations=2, warmup=1)
@@ -23,7 +24,10 @@ FAST = dict(iterations=2, warmup=1)
 
 def run(op, nodes, size=64, mode=CollectiveMode.POLL_ON_GPU,
         topology="auto", **kw):
-    cluster, comm = build_communicator(nodes, size, mode, topology)
+    cluster, comm = build_communicator(
+        nodes, size, mode, topology,
+        connectivity=op_connectivity(op),
+        max_payload=op_max_payload(op, nodes, size))
     return run_collective(cluster, comm, op, size, **{**FAST, **kw})
 
 
